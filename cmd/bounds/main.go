@@ -1,0 +1,89 @@
+// Command bounds sweeps QoS goals and heuristic classes, regenerating the
+// per-class lower-bound curves of the paper's Figure 1.
+//
+// Usage:
+//
+//	bounds -workload web -scale small            # Figure 1 series as TSV
+//	bounds -workload group -scale medium -v      # with progress on stderr
+//	bounds -classes                              # print the Table 3 taxonomy
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"wideplace/internal/core"
+	"wideplace/internal/experiments"
+	"wideplace/internal/topology"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "bounds:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		workloadFlag = flag.String("workload", "web", "workload: web or group")
+		scaleFlag    = flag.String("scale", "small", "experiment scale: small, medium or large")
+		qosFlag      = flag.String("qos", "", "comma-separated QoS points (fractions), overriding the preset")
+		classesFlag  = flag.Bool("classes", false, "print the heuristic-class taxonomy (Table 3) and exit")
+		skipRound    = flag.Bool("skip-rounding", false, "compute LP bounds only (no tightness certificate)")
+		verbose      = flag.Bool("v", false, "print per-bound progress to stderr")
+	)
+	flag.Parse()
+
+	if *classesFlag {
+		topo, err := topology.Generate(topology.GenOptions{N: 20, Seed: 1})
+		if err != nil {
+			return err
+		}
+		return experiments.WriteTable3(os.Stdout, experiments.Table3(topo, 150))
+	}
+
+	spec, err := experiments.NewSpec(experiments.WorkloadKind(*workloadFlag), experiments.Scale(*scaleFlag))
+	if err != nil {
+		return err
+	}
+	if *qosFlag != "" {
+		spec.QoSPoints, err = parseQoS(*qosFlag)
+		if err != nil {
+			return err
+		}
+	}
+	sys, err := experiments.Build(spec)
+	if err != nil {
+		return err
+	}
+	var progress experiments.Progress
+	if *verbose {
+		progress = func(format string, args ...interface{}) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	fig, err := experiments.Figure1(sys, core.BoundOptions{SkipRounding: *skipRound}, progress)
+	if err != nil {
+		return err
+	}
+	return fig.WriteTSV(os.Stdout)
+}
+
+func parseQoS(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad QoS point %q: %w", part, err)
+		}
+		if v <= 0 || v > 1 {
+			return nil, fmt.Errorf("QoS point %g outside (0, 1]", v)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

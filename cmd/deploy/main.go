@@ -1,0 +1,56 @@
+// Command deploy runs the infrastructure-deployment methodology of the
+// paper's Section 6.2 (Figure 3): phase 1 solves MC-PERF with a
+// node-opening cost to decide where to deploy file servers; phase 2
+// recomputes the per-class bounds on the reduced topology.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"wideplace/internal/core"
+	"wideplace/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "deploy:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		workloadFlag = flag.String("workload", "web", "workload: web or group")
+		scaleFlag    = flag.String("scale", "small", "experiment scale: small, medium or large")
+		zetaFlag     = flag.Float64("zeta", 0, "node-opening cost (0 = scale preset)")
+		verbose      = flag.Bool("v", false, "print per-bound progress to stderr")
+	)
+	flag.Parse()
+
+	spec, err := experiments.NewSpec(experiments.WorkloadKind(*workloadFlag), experiments.Scale(*scaleFlag))
+	if err != nil {
+		return err
+	}
+	if *zetaFlag > 0 {
+		spec.Zeta = *zetaFlag
+	}
+	sys, err := experiments.Build(spec)
+	if err != nil {
+		return err
+	}
+	var progress experiments.Progress
+	if *verbose {
+		progress = func(format string, args ...interface{}) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	res, err := experiments.Figure3(sys, core.BoundOptions{}, progress)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("# phase 1 (zeta=%g): deploy nodes at sites %v (%d of %d)\n",
+		spec.Zeta, res.OpenNodes, len(res.OpenNodes), spec.Nodes)
+	return res.Figure.WriteTSV(os.Stdout)
+}

@@ -1,0 +1,125 @@
+// Command mcperf solves one MC-PERF instance: it generates a deterministic
+// system and workload, computes the lower bound for one heuristic class and
+// certifies it with the rounding algorithm, printing the full diagnostics.
+//
+// Example:
+//
+//	mcperf -workload web -nodes 12 -objects 30 -requests 10000 \
+//	       -class storage-constrained -tqos 0.99
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"wideplace/internal/core"
+	"wideplace/internal/topology"
+	"wideplace/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "mcperf:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		workloadFlag = flag.String("workload", "web", "workload: web or group")
+		nodes        = flag.Int("nodes", 10, "number of sites")
+		objects      = flag.Int("objects", 20, "number of objects")
+		requests     = flag.Int("requests", 5000, "total requests")
+		horizon      = flag.Duration("horizon", 8*time.Hour, "trace duration")
+		delta        = flag.Duration("delta", time.Hour, "evaluation interval")
+		seed         = flag.Uint64("seed", 1, "deterministic seed")
+		zipfS        = flag.Float64("zipf", 0, "WEB Zipf exponent (0 = default 1.0)")
+		classFlag    = flag.String("class", "general", "heuristic class name")
+		tqos         = flag.Float64("tqos", 0.95, "QoS goal fraction")
+		tlat         = flag.Float64("tlat", 150, "latency threshold (ms)")
+		avg          = flag.Float64("avg", 0, "average-latency goal in ms (overrides -tqos when > 0)")
+		skipRound    = flag.Bool("skip-rounding", false, "LP bound only")
+		runLength    = flag.Bool("runlength", false, "enable the run-length rounding optimization")
+	)
+	flag.Parse()
+
+	topo, err := topology.Generate(topology.GenOptions{N: *nodes, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	var trace *workload.Trace
+	switch *workloadFlag {
+	case "web":
+		trace, err = workload.GenerateWeb(workload.WebOptions{
+			Nodes: *nodes, Objects: *objects, Requests: *requests, Duration: *horizon, Seed: *seed,
+			ZipfS: *zipfS,
+		})
+	case "group":
+		trace, err = workload.GenerateGroup(workload.GroupOptions{
+			Nodes: *nodes, Objects: *objects, Requests: *requests, Duration: *horizon, Seed: *seed,
+		})
+	default:
+		return fmt.Errorf("unknown workload %q", *workloadFlag)
+	}
+	if err != nil {
+		return err
+	}
+	counts, err := trace.Bucket(*delta)
+	if err != nil {
+		return err
+	}
+	goal := core.QoS(*tqos, *tlat)
+	if *avg > 0 {
+		goal = core.AvgLatency(*avg)
+	}
+	inst, err := core.NewInstance(topo, counts, core.DefaultCost(), goal)
+	if err != nil {
+		return err
+	}
+	class, err := lookupClass(topo, *tlat, *classFlag)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	b, err := inst.LowerBound(class, core.BoundOptions{
+		SkipRounding: *skipRound,
+		Round:        core.RoundOptions{RunLength: *runLength},
+	})
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("instance:   %s workload, %d nodes, %d objects, %d requests, %d intervals of %v\n",
+		*workloadFlag, *nodes, *objects, len(trace.Accesses), counts.Intervals, *delta)
+	if goal.Kind == core.QoSGoal {
+		fmt.Printf("goal:       %.5g%% of each user's reads within %.0f ms\n", *tqos*100, *tlat)
+	} else {
+		fmt.Printf("goal:       average latency per user at most %.0f ms\n", *avg)
+	}
+	fmt.Printf("class:      %s\n", class.Name)
+	fmt.Printf("lower bound %.2f   (LP: %d variables, %d iterations)\n", b.LPBound, b.LPVariables, b.LPIterations)
+	if !*skipRound && goal.Kind == core.QoSGoal {
+		fmt.Printf("feasible    %.2f   (rounding: %d up, %d down; gap %.1f%%)\n",
+			b.FeasibleCost, b.UpSteps, b.DownSteps, 100*b.Gap())
+	}
+	fmt.Printf("elapsed     %v\n", elapsed.Round(time.Millisecond))
+	return nil
+}
+
+// lookupClass resolves a class by its registry name.
+func lookupClass(topo *topology.Topology, tlat float64, name string) (*core.Class, error) {
+	candidates := append(core.Classes(topo, tlat), core.Reactive())
+	for _, c := range candidates {
+		if c.Name == name {
+			return c, nil
+		}
+	}
+	names := make([]string, 0, len(candidates))
+	for _, c := range candidates {
+		names = append(names, c.Name)
+	}
+	return nil, fmt.Errorf("unknown class %q; available: %v", name, names)
+}

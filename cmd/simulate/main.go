@@ -1,0 +1,65 @@
+// Command simulate tunes and replays deployed heuristics against their
+// class lower bounds, regenerating the paper's Figure 2: the heuristic the
+// methodology selects (greedy-global for WEB, Qiu-style greedy for GROUP)
+// versus plain LRU caching.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"wideplace/internal/core"
+	"wideplace/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "simulate:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		workloadFlag = flag.String("workload", "web", "workload: web or group")
+		scaleFlag    = flag.String("scale", "small", "experiment scale: small, medium or large")
+		verbose      = flag.Bool("v", false, "print per-point progress to stderr")
+	)
+	flag.Parse()
+
+	spec, err := experiments.NewSpec(experiments.WorkloadKind(*workloadFlag), experiments.Scale(*scaleFlag))
+	if err != nil {
+		return err
+	}
+	sys, err := experiments.Build(spec)
+	if err != nil {
+		return err
+	}
+	var progress experiments.Progress
+	if *verbose {
+		progress = func(format string, args ...interface{}) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	res, err := experiments.Figure2(sys, core.BoundOptions{}, progress)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("# Figure 2 (%s): deployed heuristic cost vs class bound (nodes=%d objects=%d requests=%d)\n",
+		spec.Workload, spec.Nodes, spec.Objects, spec.Requests)
+	fmt.Println("qos\tclass_bound\tchosen_heuristic\tchosen_param\tlru_caching\tlru_param")
+	for i := range res.Bound {
+		fmt.Printf("%g", res.Bound[i].QoS*100)
+		cell := func(infeasible bool, v float64) string {
+			if infeasible {
+				return "-"
+			}
+			return fmt.Sprintf("%.0f", v)
+		}
+		fmt.Printf("\t%s", cell(res.Bound[i].Infeasible, res.Bound[i].Bound))
+		fmt.Printf("\t%s\t%d", cell(res.Chosen[i].Infeasible, res.Chosen[i].Cost), res.Chosen[i].Param)
+		fmt.Printf("\t%s\t%d\n", cell(res.LRU[i].Infeasible, res.LRU[i].Cost), res.LRU[i].Param)
+	}
+	return nil
+}

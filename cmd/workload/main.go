@@ -1,0 +1,156 @@
+// Command workload generates, describes and converts the evaluation
+// inputs: topologies and access traces. Generated artifacts are JSON and
+// feed back into the library through topology.Read / workload.Read, so a
+// user can pin down the exact system an analysis ran on, or bring their
+// own traces in the same format.
+//
+// Usage:
+//
+//	workload gen-topology -nodes 20 -seed 1 > topo.json
+//	workload gen-trace -workload web -objects 1000 > trace.json
+//	workload describe -trace trace.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"wideplace/internal/topology"
+	"wideplace/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "workload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("need a subcommand: gen-topology, gen-trace or describe")
+	}
+	switch args[0] {
+	case "gen-topology":
+		return genTopology(args[1:])
+	case "gen-trace":
+		return genTrace(args[1:])
+	case "describe":
+		return describe(args[1:])
+	default:
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+func genTopology(args []string) error {
+	fs := flag.NewFlagSet("gen-topology", flag.ContinueOnError)
+	nodes := fs.Int("nodes", 20, "number of sites")
+	seed := fs.Uint64("seed", 1, "deterministic seed")
+	minHop := fs.Float64("min-hop", 100, "minimum hop latency (ms)")
+	maxHop := fs.Float64("max-hop", 200, "maximum hop latency (ms)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	topo, err := topology.Generate(topology.GenOptions{
+		N: *nodes, Seed: *seed, MinHop: *minHop, MaxHop: *maxHop,
+	})
+	if err != nil {
+		return err
+	}
+	return topo.Write(os.Stdout)
+}
+
+func genTrace(args []string) error {
+	fs := flag.NewFlagSet("gen-trace", flag.ContinueOnError)
+	kind := fs.String("workload", "web", "web or group")
+	nodes := fs.Int("nodes", 20, "number of sites")
+	objects := fs.Int("objects", 1000, "number of objects")
+	requests := fs.Int("requests", 300000, "total requests")
+	horizon := fs.Duration("horizon", 24*time.Hour, "trace duration")
+	seed := fs.Uint64("seed", 1, "deterministic seed")
+	zipf := fs.Float64("zipf", 0, "WEB Zipf exponent (0 = default)")
+	writes := fs.Float64("writes", 0, "fraction of accesses turned into writes")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var tr *workload.Trace
+	var err error
+	switch *kind {
+	case "web":
+		tr, err = workload.GenerateWeb(workload.WebOptions{
+			Nodes: *nodes, Objects: *objects, Requests: *requests,
+			Duration: *horizon, Seed: *seed, ZipfS: *zipf,
+		})
+	case "group":
+		tr, err = workload.GenerateGroup(workload.GroupOptions{
+			Nodes: *nodes, Objects: *objects, Requests: *requests,
+			Duration: *horizon, Seed: *seed,
+		})
+	default:
+		return fmt.Errorf("unknown workload %q", *kind)
+	}
+	if err != nil {
+		return err
+	}
+	if *writes > 0 {
+		tr = workload.AddWrites(tr, *writes, *seed)
+	}
+	return tr.Write(os.Stdout)
+}
+
+func describe(args []string) error {
+	fs := flag.NewFlagSet("describe", flag.ContinueOnError)
+	tracePath := fs.String("trace", "", "trace JSON to summarize")
+	topoPath := fs.String("topology", "", "topology JSON to summarize")
+	delta := fs.Duration("delta", time.Hour, "interval for per-interval statistics")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *tracePath == "" && *topoPath == "" {
+		return fmt.Errorf("describe needs -trace and/or -topology")
+	}
+	if *topoPath != "" {
+		f, err := os.Open(*topoPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		topo, err := topology.Read(f)
+		if err != nil {
+			return err
+		}
+		within := 0
+		d := topo.Dist(150)
+		for n := 0; n < topo.N; n++ {
+			if n != topo.Origin && d[n][topo.Origin] {
+				within++
+			}
+		}
+		fmt.Printf("topology: %d sites, %d links, origin %d, diameter %.0f ms, %d sites within 150 ms of the origin\n",
+			topo.N, len(topo.Links), topo.Origin, topo.MaxLatency(), within)
+	}
+	if *tracePath != "" {
+		f, err := os.Open(*tracePath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		tr, err := workload.Read(f)
+		if err != nil {
+			return err
+		}
+		s := workload.Describe(tr)
+		fmt.Printf("trace: %d accesses (%d reads, %d writes) over %v, %d sites (%d active), %d objects\n",
+			s.Requests, s.Reads, s.Writes, tr.Duration, tr.NumNodes, s.ActiveNodes, tr.NumObjects)
+		fmt.Printf("popularity: hottest object %d with %d accesses; coldest object %d with %d\n",
+			s.HottestObj, s.HottestCount, s.ColdestObj, s.ColdestCount)
+		counts, err := tr.Bucket(*delta)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("intervals: %d of %v\n", counts.Intervals, *delta)
+	}
+	return nil
+}

@@ -1,0 +1,3 @@
+module wideplace
+
+go 1.24

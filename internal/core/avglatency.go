@@ -1,0 +1,144 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"wideplace/internal/lp"
+)
+
+// This file implements the paper's second performance metric (Sec. 3.1,
+// constraints 7-10): the average read latency perceived by each user must
+// not exceed Tavg. Requests are routed to exactly one replica (or the
+// origin), so the model introduces route variables for every read-positive
+// (node, interval, object) triple and every fetchable serving node.
+
+// buildAvgLP assembles the MC-PERF linear relaxation for the
+// average-latency goal.
+func (in *Instance) buildAvgLP(class *Class) (*buildResult, error) {
+	if in.Goal.Kind != AvgLatencyGoal {
+		return nil, fmt.Errorf("core: buildAvgLP called with goal kind %d", in.Goal.Kind)
+	}
+	nN, nI, nK := in.Dims()
+	origin := in.Topo.Origin
+	m := lp.NewModel(lp.Minimize)
+	b := &buildResult{
+		model:         m,
+		storeIdx:      allocIdx(nN, nI, nK),
+		createIdx:     allocIdx(nN, nI, nK),
+		coveredIdx:    allocIdx(nN, nI, nK),
+		openIdx:       make([]int, nN),
+		originCovered: make([]bool, nN),
+		createOK:      in.createAllowed(class),
+		qosRow:        make([]int, nN),
+	}
+	for n := range b.openIdx {
+		b.openIdx[n] = -1
+		b.qosRow[n] = -1
+	}
+	if err := in.addPlacementCore(b, class); err != nil {
+		return nil, err
+	}
+
+	fetch := class.fetchMatrix(in.Topo)
+
+	// Route variables and constraints (8)-(10) per read-positive triple;
+	// the per-user average-latency rows (7) accumulate coefficients.
+	type avgRow struct {
+		coefs []lp.Coef
+		bound float64 // Tavg * R_n minus constant route contributions
+	}
+	rows := make([]avgRow, nN)
+	for n := 0; n < nN; n++ {
+		// Serving candidates for node n: fetchable placement nodes plus
+		// (constant) the origin when fetchable.
+		var serves []int
+		for mm := 0; mm < nN; mm++ {
+			if mm != origin && fetch[n][mm] {
+				serves = append(serves, mm)
+			}
+		}
+		canOrigin := fetch[n][origin]
+		if !canOrigin && len(serves) == 0 {
+			return nil, fmt.Errorf("%w: node %d has no serving candidates", ErrGoalUnattainable, n)
+		}
+		for i := 0; i < nI; i++ {
+			for k := 0; k < nK; k++ {
+				rd := float64(in.Counts.Reads[n][i][k])
+				if rd == 0 {
+					continue
+				}
+				rows[n].bound += in.Goal.Tavg * rd
+				// Constraint (8): routes sum to one.
+				sumCoefs := make([]lp.Coef, 0, len(serves)+1)
+				for _, mm := range serves {
+					rv := m.AddVar(0, 1, 0, "")
+					sumCoefs = append(sumCoefs, lp.Coef{Var: rv, Value: 1})
+					// Constraint (9): route <= store.
+					m.AddLE([]lp.Coef{
+						{Var: rv, Value: 1},
+						{Var: b.storeIdx[mm][i][k], Value: -1},
+					}, 0, "")
+					rows[n].coefs = append(rows[n].coefs,
+						lp.Coef{Var: rv, Value: rd * in.Topo.Latency[n][mm]})
+				}
+				if canOrigin {
+					ov := m.AddVar(0, 1, 0, "")
+					sumCoefs = append(sumCoefs, lp.Coef{Var: ov, Value: 1})
+					rows[n].coefs = append(rows[n].coefs,
+						lp.Coef{Var: ov, Value: rd * in.Topo.Latency[n][origin]})
+				}
+				m.AddEQ(sumCoefs, 1, "")
+			}
+		}
+	}
+	// Constraint (7): per-user average latency (or one aggregate row).
+	switch in.Goal.Scope {
+	case PerUser:
+		for n := 0; n < nN; n++ {
+			if len(rows[n].coefs) == 0 {
+				continue
+			}
+			m.AddLE(rows[n].coefs, rows[n].bound, "")
+		}
+	case Overall:
+		var coefs []lp.Coef
+		bound := 0.0
+		for n := 0; n < nN; n++ {
+			coefs = append(coefs, rows[n].coefs...)
+			bound += rows[n].bound
+		}
+		if len(coefs) > 0 {
+			m.AddLE(coefs, bound, "")
+		}
+	}
+
+	in.addStorageConstraint(b, class)
+	in.addReplicaConstraint(b, class)
+	return b, nil
+}
+
+func (in *Instance) avgLowerBound(class *Class, opts BoundOptions) (*Bound, error) {
+	b, err := in.buildAvgLP(class)
+	if err != nil {
+		return nil, err
+	}
+	sol, err := lp.SolveModel(b.model, opts.LP)
+	if err != nil {
+		if errors.Is(err, lp.ErrInfeasible) {
+			return nil, fmt.Errorf("%w (class %s)", ErrGoalUnattainable, class.Name)
+		}
+		return nil, fmt.Errorf("solve %s avg bound: %w", class.Name, err)
+	}
+	out := &Bound{
+		Class:        class.Name,
+		LPBound:      sol.Objective,
+		LPIterations: sol.Iterations,
+		LPVariables:  b.model.NumVars(),
+		StoreFrac:    extractStore(b, sol),
+	}
+	// The rounding algorithm targets the QoS metric; for the average-
+	// latency goal the LP bound stands alone (the paper's methodology
+	// section states the procedure is identical, using bounds directly).
+	return out, nil
+}

@@ -1,0 +1,250 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"wideplace/internal/lp"
+)
+
+// ErrGoalUnattainable is returned when no placement allowed by the class
+// can meet the performance goal at any cost (e.g. local caching at a QoS
+// level above its cold-miss ceiling).
+var ErrGoalUnattainable = errors.New("core: class cannot meet the performance goal")
+
+// BoundOptions configures LowerBound.
+type BoundOptions struct {
+	// LP configures the simplex solver.
+	LP lp.Options
+	// Round configures the rounding pass.
+	Round RoundOptions
+	// SkipRounding computes only the LP bound (no tightness certificate).
+	SkipRounding bool
+}
+
+// Bound is the result of a lower-bound computation for one class.
+type Bound struct {
+	Class string
+	// LPBound is the class's lower bound: no heuristic in the class can
+	// meet the goal at lower cost on this system and workload.
+	LPBound float64
+	// FeasibleCost is the cost of the integral solution produced by the
+	// rounding algorithm (0 when SkipRounding); the gap to LPBound
+	// certifies the bound's tightness.
+	FeasibleCost float64
+	// LPIterations and LPVariables report solver effort.
+	LPIterations int
+	LPVariables  int
+	// UpSteps/DownSteps report rounding effort.
+	UpSteps, DownSteps int
+	// StoreFrac is the fractional LP placement (consumed by callers that
+	// post-process placements, e.g. the deployment methodology).
+	StoreFrac [][][]float64
+	// Open holds the fractional open variables per node when the instance
+	// carries a node-opening cost (nil otherwise).
+	Open []float64
+}
+
+// Gap returns the relative rounding gap (feasible - bound) / bound.
+func (b *Bound) Gap() float64 {
+	if b.LPBound <= 0 {
+		return 0
+	}
+	return (b.FeasibleCost - b.LPBound) / b.LPBound
+}
+
+// LowerBound computes the class's lower bound via the LP relaxation and,
+// unless disabled, certifies its tightness with the rounding algorithm.
+// A nil class means the general (unconstrained) bound.
+func (in *Instance) LowerBound(class *Class, opts BoundOptions) (*Bound, error) {
+	if class == nil {
+		class = General()
+	}
+	switch in.Goal.Kind {
+	case QoSGoal:
+		return in.qosLowerBound(class, opts)
+	case AvgLatencyGoal:
+		return in.avgLowerBound(class, opts)
+	default:
+		return nil, fmt.Errorf("core: unsupported goal kind %d", in.Goal.Kind)
+	}
+}
+
+func (in *Instance) qosLowerBound(class *Class, opts BoundOptions) (*Bound, error) {
+	b, err := in.buildQoSLP(class)
+	if err != nil {
+		return nil, err
+	}
+	sol, err := lp.SolveModel(b.model, opts.LP)
+	if err != nil {
+		if errors.Is(err, lp.ErrInfeasible) {
+			return nil, fmt.Errorf("%w (class %s)", ErrGoalUnattainable, class.Name)
+		}
+		return nil, fmt.Errorf("solve %s bound: %w", class.Name, err)
+	}
+	out := &Bound{
+		Class:        class.Name,
+		LPBound:      sol.Objective,
+		LPIterations: sol.Iterations,
+		LPVariables:  b.model.NumVars(),
+		StoreFrac:    extractStore(b, sol),
+	}
+	if b.perturbSlack > 0 {
+		// Undo the anti-degeneracy perturbation conservatively: for any
+		// placement x, cost_perturbed(x) <= cost_true(x) + slack, so
+		// min cost_true >= min cost_perturbed - slack.
+		out.LPBound -= b.perturbSlack
+		if out.LPBound < 0 {
+			out.LPBound = 0
+		}
+	}
+	if in.Cost.Zeta > 0 {
+		out.Open = make([]float64, len(b.openIdx))
+		for n, id := range b.openIdx {
+			if id >= 0 {
+				out.Open[n] = sol.X[id]
+			} else if n == in.Topo.Origin {
+				out.Open[n] = 1
+			}
+		}
+	}
+	if in.Cost.Gamma > 0 {
+		// The LP objective carries -gamma*read*covered; shift by the
+		// constant gamma*totalReads so the bound reports
+		// gamma*(uncovered reads) like the cost function (11).
+		out.LPBound += in.Cost.Gamma * in.penaltyConstant(b)
+	}
+	if !opts.SkipRounding {
+		frac := cloneF3(out.StoreFrac)
+		rr, err := in.Round(class, frac, opts.Round)
+		if err != nil {
+			return nil, fmt.Errorf("round %s bound: %w", class.Name, err)
+		}
+		out.FeasibleCost = rr.Cost
+		out.UpSteps, out.DownSteps = rr.UpSteps, rr.DownSteps
+	}
+	return out, nil
+}
+
+// penaltyConstant is the total read weight that the penalty term treats as
+// its baseline: reads not permanently covered by the origin and with a
+// covered variable in the model, plus reads that can never be covered.
+func (in *Instance) penaltyConstant(b *buildResult) float64 {
+	nN, nI, nK := in.Dims()
+	total := 0.0
+	for n := 0; n < nN; n++ {
+		if b.originCovered[n] {
+			continue
+		}
+		for i := 0; i < nI; i++ {
+			for k := 0; k < nK; k++ {
+				total += float64(in.Counts.Reads[n][i][k])
+			}
+		}
+	}
+	return total
+}
+
+// extractStore reads the fractional store values from the LP solution.
+func extractStore(b *buildResult, sol *lp.Solution) [][][]float64 {
+	nN := len(b.storeIdx)
+	nI := len(b.storeIdx[0])
+	nK := len(b.storeIdx[0][0])
+	out := allocF3(nN, nI, nK)
+	for n := 0; n < nN; n++ {
+		for i := 0; i < nI; i++ {
+			for k := 0; k < nK; k++ {
+				if id := b.storeIdx[n][i][k]; id >= 0 {
+					v := sol.X[id]
+					if v < 0 {
+						v = 0
+					} else if v > 1 {
+						v = 1
+					}
+					out[n][i][k] = v
+				}
+			}
+		}
+	}
+	return out
+}
+
+func cloneF3(src [][][]float64) [][][]float64 {
+	out := allocF3(len(src), len(src[0]), len(src[0][0]))
+	for n := range src {
+		for i := range src[n] {
+			copy(out[n][i], src[n][i])
+		}
+	}
+	return out
+}
+
+// VerifySolution checks that an integral placement honors the class's
+// structural constraints and meets the QoS goal; it returns nil when the
+// solution is feasible. Used by tests and the simulator cross-checks.
+func (in *Instance) VerifySolution(class *Class, store [][][]bool) error {
+	nN, nI, nK := in.Dims()
+	origin := in.Topo.Origin
+	createOK := in.createAllowed(class)
+	for n := 0; n < nN; n++ {
+		if n == origin {
+			continue
+		}
+		for i := 0; i < nI; i++ {
+			for k := 0; k < nK; k++ {
+				if !store[n][i][k] {
+					continue
+				}
+				rose := i == 0 && !in.initiallyStored(n, k) ||
+					i > 0 && !store[n][i-1][k]
+				if rose && createOK[n] != nil && !createOK[n][i][k] {
+					return fmt.Errorf("core: creation of object %d on node %d at interval %d violates the class history constraint", k, n, i)
+				}
+			}
+		}
+	}
+	// QoS check.
+	reach := in.Reach(class)
+	const eps = 1e-7
+	checkNode := func(u int) (covered, total float64) {
+		for i := 0; i < nI; i++ {
+			for k := 0; k < nK; k++ {
+				rd := float64(in.Counts.Reads[u][i][k])
+				if rd == 0 {
+					continue
+				}
+				total += rd
+				if in.originReachable(class, u) {
+					covered += rd
+					continue
+				}
+				for _, m := range reach[u] {
+					if store[m][i][k] {
+						covered += rd
+						break
+					}
+				}
+			}
+		}
+		return covered, total
+	}
+	if in.Goal.Scope == PerUser {
+		for u := 0; u < nN; u++ {
+			cov, tot := checkNode(u)
+			if tot > 0 && cov < in.Goal.Tqos*tot-eps*tot {
+				return fmt.Errorf("core: node %d QoS %.6f below goal %.6f", u, cov/tot, in.Goal.Tqos)
+			}
+		}
+		return nil
+	}
+	var cov, tot float64
+	for u := 0; u < nN; u++ {
+		c, t := checkNode(u)
+		cov += c
+		tot += t
+	}
+	if tot > 0 && cov < in.Goal.Tqos*tot-eps*tot {
+		return fmt.Errorf("core: overall QoS %.6f below goal %.6f", cov/tot, in.Goal.Tqos)
+	}
+	return nil
+}

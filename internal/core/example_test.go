@@ -1,0 +1,49 @@
+package core_test
+
+import (
+	"fmt"
+	"time"
+
+	"wideplace/internal/core"
+	"wideplace/internal/topology"
+	"wideplace/internal/workload"
+)
+
+// Compute the general lower bound for a tiny system: one remote office
+// (node 2) reading one object that only the headquarters holds.
+func Example() {
+	topo, err := topology.New(3, []topology.Link{
+		{A: 0, B: 1, Latency: 100},
+		{A: 1, B: 2, Latency: 100},
+	}, 0)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	trace := &workload.Trace{
+		Accesses: []workload.Access{
+			{At: 0, Node: 2},
+			{At: 10 * time.Minute, Node: 2},
+		},
+		NumNodes: 3, NumObjects: 1, Duration: time.Hour,
+	}
+	counts, err := trace.Bucket(time.Hour)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	// Goal: all of node 2's reads within 150 ms. The origin is 200 ms
+	// away, so one replica (storage 1 + creation 1) is unavoidable.
+	inst, err := core.NewInstance(topo, counts, core.DefaultCost(), core.QoS(1.0, 150))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	b, err := inst.LowerBound(core.General(), core.BoundOptions{})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("bound %.0f, feasible %.0f\n", b.LPBound, b.FeasibleCost)
+	// Output: bound 2, feasible 2
+}

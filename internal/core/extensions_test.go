@@ -1,0 +1,310 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"wideplace/internal/topology"
+	"wideplace/internal/workload"
+)
+
+// TestPenaltyTermTradesOffCoverage exercises the best-effort penalty
+// extension (term 11): with a QoS goal of 50% and a high gamma, covering
+// MORE than required becomes worthwhile.
+func TestPenaltyTermTradesOffCoverage(t *testing.T) {
+	tp := lineTopo(t)
+	// Node 2 reads two objects, 10 times each, one interval.
+	var acc []workload.Access
+	for i := 0; i < 10; i++ {
+		acc = append(acc,
+			workload.Access{At: time.Duration(2*i) * time.Minute, Node: 2, Object: 0},
+			workload.Access{At: time.Duration(2*i+1) * time.Minute, Node: 2, Object: 1},
+		)
+	}
+	counts := traceCounts(t, 3, 2, time.Hour, time.Hour, acc)
+
+	// Without penalty: cover half the reads (one object): 2.
+	plain, err := NewInstance(tp, counts, DefaultCost(), QoS(0.5, 150))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := plain.LowerBound(General(), BoundOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pb.LPBound-2) > 1e-6 {
+		t.Fatalf("plain bound = %g, want 2", pb.LPBound)
+	}
+
+	// With gamma = 1 per late access, leaving 10 reads uncovered costs 10;
+	// covering the second object costs 2. The optimum covers both: 4.
+	cost := DefaultCost()
+	cost.Gamma = 1
+	pen, err := NewInstance(tp, counts, cost, QoS(0.5, 150))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := pen.LowerBound(General(), BoundOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(bb.LPBound-4) > 1e-6 {
+		t.Errorf("penalty bound = %g, want 4 (cover everything)", bb.LPBound)
+	}
+	// The feasible solution's cost includes the penalty accounting too.
+	if bb.FeasibleCost < bb.LPBound-1e-6 {
+		t.Errorf("feasible %g below bound %g", bb.FeasibleCost, bb.LPBound)
+	}
+}
+
+// TestWriteCostPenalizesReplicas exercises the update-cost extension
+// (term 12): with writes in the workload, every replica pays delta per
+// write, so the bound grows.
+func TestWriteCostPenalizesReplicas(t *testing.T) {
+	tp := lineTopo(t)
+	acc := []workload.Access{
+		{At: 0, Node: 2, Object: 0},
+		{At: 10 * time.Minute, Node: 1, Object: 0, Write: true},
+		{At: 20 * time.Minute, Node: 1, Object: 0, Write: true},
+	}
+	counts := traceCounts(t, 3, 1, time.Hour, time.Hour, acc)
+
+	costNoW := DefaultCost()
+	instNoW, err := NewInstance(tp, counts, costNoW, QoS(1.0, 150))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := instNoW.LowerBound(General(), BoundOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	costW := DefaultCost()
+	costW.Delta = 3
+	instW, err := NewInstance(tp, counts, costW, QoS(1.0, 150))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wb, err := instW.LowerBound(General(), BoundOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One replica, two writes, delta 3: +6 over the base bound of 2.
+	if math.Abs(wb.LPBound-(base.LPBound+6)) > 1e-6 {
+		t.Errorf("write bound = %g, want %g", wb.LPBound, base.LPBound+6)
+	}
+	if wb.FeasibleCost < wb.LPBound-1e-6 {
+		t.Errorf("feasible %g below bound %g", wb.FeasibleCost, wb.LPBound)
+	}
+}
+
+// TestOpeningCostReducesOpenNodes exercises the node-enabling extension
+// (terms 13-15): a high zeta concentrates storage on few nodes.
+func TestOpeningCostReducesOpenNodes(t *testing.T) {
+	// Star: origin 0 far from everyone; nodes 1..4 mutually within 150.
+	links := []topology.Link{
+		{A: 0, B: 1, Latency: 500},
+		{A: 1, B: 2, Latency: 100},
+		{A: 1, B: 3, Latency: 100},
+		{A: 1, B: 4, Latency: 120},
+	}
+	tp, err := topology.New(5, links, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var acc []workload.Access
+	for n := 1; n <= 4; n++ {
+		for r := 0; r < 5; r++ {
+			acc = append(acc, workload.Access{At: time.Duration(n*10+r) * time.Minute, Node: n})
+		}
+	}
+	counts := traceCounts(t, 5, 1, time.Hour, time.Hour, acc)
+
+	cost := DefaultCost()
+	cost.Zeta = 50
+	inst, err := NewInstance(tp, counts, cost, QoS(1.0, 150))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := inst.LowerBound(General(), BoundOptions{SkipRounding: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Open == nil {
+		t.Fatal("no open variables returned")
+	}
+	// Node 1 reaches 2 and 3 within 150; node 4 reaches 1 within 120.
+	// One replica at node 1 covers everyone: open mass should be ~1 node
+	// (the always-open origin is reported as 1 and excluded here).
+	openMass := 0.0
+	for n, v := range b.Open {
+		if n != tp.Origin {
+			openMass += v
+		}
+	}
+	if openMass > 1.5 {
+		t.Errorf("open mass = %g, want about 1 (zeta should concentrate storage)", openMass)
+	}
+	// Bound ~ zeta + alpha + beta = 52.
+	if b.LPBound < 50 || b.LPBound > 60 {
+		t.Errorf("bound = %g, want about 52", b.LPBound)
+	}
+}
+
+// TestOverallScopeCheaperThanPerUser: an aggregate goal can sacrifice one
+// node's coverage, so it is never more expensive than the per-user goal.
+func TestOverallScopeCheaperThanPerUser(t *testing.T) {
+	tp, err := topology.Generate(topology.GenOptions{N: 7, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := workload.GenerateWeb(workload.WebOptions{Nodes: 7, Objects: 12, Requests: 900, Seed: 5, Duration: 5 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts, err := tr.Bucket(time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perUser, err := NewInstance(tp, counts, DefaultCost(), QoS(0.9, 150))
+	if err != nil {
+		t.Fatal(err)
+	}
+	overallGoal := QoS(0.9, 150)
+	overallGoal.Scope = Overall
+	overall, err := NewInstance(tp, counts, DefaultCost(), overallGoal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pu, err := perUser.LowerBound(General(), BoundOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ov, err := overall.LowerBound(General(), BoundOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ov.LPBound > pu.LPBound+1e-6 {
+		t.Errorf("overall bound %g exceeds per-user bound %g", ov.LPBound, pu.LPBound)
+	}
+	if ov.FeasibleCost < ov.LPBound-1e-6 {
+		t.Errorf("overall feasible %g below bound %g", ov.FeasibleCost, ov.LPBound)
+	}
+}
+
+// TestRunLengthRoundingFeasible: the run-length optimization must still
+// produce feasible solutions, at a cost within a few percent of plain
+// rounding (App. C reports < 5% degradation).
+func TestRunLengthRoundingFeasible(t *testing.T) {
+	tp, err := topology.Generate(topology.GenOptions{N: 6, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := workload.GenerateWeb(workload.WebOptions{Nodes: 6, Objects: 12, Requests: 1200, Seed: 3, Duration: 8 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts, err := tr.Bucket(time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 0.8 keeps the reactive class attainable despite interval-0 cold
+	// misses (8 intervals: ~12.5% of each node's reads are cold).
+	inst, err := NewInstance(tp, counts, DefaultCost(), QoS(0.8, 150))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, class := range []*Class{General(), Reactive(), CoopCaching(tp, 150)} {
+		b, err := inst.LowerBound(class, BoundOptions{SkipRounding: true})
+		if err != nil {
+			t.Fatalf("%s: %v", class.Name, err)
+		}
+		plain, err := inst.Round(class, cloneF3(b.StoreFrac), RoundOptions{})
+		if err != nil {
+			t.Fatalf("%s plain: %v", class.Name, err)
+		}
+		rl, err := inst.Round(class, cloneF3(b.StoreFrac), RoundOptions{RunLength: true})
+		if err != nil {
+			t.Fatalf("%s run-length: %v", class.Name, err)
+		}
+		if err := inst.VerifySolution(class, rl.Store); err != nil {
+			t.Errorf("%s run-length solution infeasible: %v", class.Name, err)
+		}
+		if rl.Cost < b.LPBound-1e-6 {
+			t.Errorf("%s run-length cost %g below bound %g", class.Name, rl.Cost, b.LPBound)
+		}
+		if rl.Cost > plain.Cost*1.25+1 {
+			t.Errorf("%s run-length cost %g too far above plain %g", class.Name, rl.Cost, plain.Cost)
+		}
+		if rl.UpSteps > plain.UpSteps {
+			t.Logf("%s: run-length took more up-steps (%d vs %d)", class.Name, rl.UpSteps, plain.UpSteps)
+		}
+	}
+}
+
+// TestAvgLatencyClassOrdering: class bounds dominate the general bound for
+// the average-latency metric too.
+func TestAvgLatencyClassOrdering(t *testing.T) {
+	tp, err := topology.Generate(topology.GenOptions{N: 6, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := workload.GenerateWeb(workload.WebOptions{Nodes: 6, Objects: 8, Requests: 600, Seed: 2, Duration: 4 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts, err := tr.Bucket(time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := NewInstance(tp, counts, DefaultCost(), AvgLatency(140))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := inst.LowerBound(General(), BoundOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, class := range []*Class{StorageConstrained(), ReplicaConstrained(), Caching(tp)} {
+		b, err := inst.LowerBound(class, BoundOptions{})
+		if err != nil {
+			continue // some classes cannot meet tight average goals
+		}
+		if b.LPBound < gen.LPBound-1e-6 {
+			t.Errorf("%s avg bound %g below general %g", class.Name, b.LPBound, gen.LPBound)
+		}
+	}
+}
+
+// TestAvgLatencyMonotone: tightening the average-latency target never
+// lowers the bound.
+func TestAvgLatencyMonotone(t *testing.T) {
+	tp, err := topology.Generate(topology.GenOptions{N: 6, Seed: 19})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := workload.GenerateWeb(workload.WebOptions{Nodes: 6, Objects: 8, Requests: 500, Seed: 6, Duration: 4 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts, err := tr.Bucket(time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1.0
+	for _, target := range []float64{400, 250, 150, 100} {
+		inst, err := NewInstance(tp, counts, DefaultCost(), AvgLatency(target))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := inst.LowerBound(General(), BoundOptions{})
+		if err != nil {
+			t.Fatalf("target %g: %v", target, err)
+		}
+		if b.LPBound < prev-1e-6 {
+			t.Errorf("bound decreased to %g when tightening target to %g", b.LPBound, target)
+		}
+		prev = b.LPBound
+	}
+}

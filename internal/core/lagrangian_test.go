@@ -1,0 +1,124 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"wideplace/internal/topology"
+	"wideplace/internal/workload"
+)
+
+func lagSystem(t *testing.T, seed uint64, nodes, objects, requests int) *Instance {
+	t.Helper()
+	tp, err := topology.Generate(topology.GenOptions{N: nodes, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := workload.GenerateWeb(workload.WebOptions{
+		Nodes: nodes, Objects: objects, Requests: requests, Seed: seed, Duration: 6 * time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts, err := tr.Bucket(time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := NewInstance(tp, counts, DefaultCost(), QoS(0.9, 150))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func TestLagrangianMatchesExactGeneral(t *testing.T) {
+	for seed := uint64(1); seed <= 3; seed++ {
+		inst := lagSystem(t, seed, 6, 12, 1200)
+		exact, err := inst.LowerBound(General(), BoundOptions{SkipRounding: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lag, err := inst.LagrangianBound(General(), LagrangianOptions{MaxIters: 400})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lag.LPBound > exact.LPBound*(1+1e-6)+1e-6 {
+			t.Errorf("seed %d: Lagrangian %g exceeds exact LP bound %g", seed, lag.LPBound, exact.LPBound)
+		}
+		if lag.LPBound < exact.LPBound*0.85 {
+			t.Errorf("seed %d: Lagrangian %g too loose vs exact %g (<85%%)", seed, lag.LPBound, exact.LPBound)
+		}
+	}
+}
+
+func TestLagrangianStorageConstrained(t *testing.T) {
+	inst := lagSystem(t, 7, 6, 12, 1200)
+	exact, err := inst.LowerBound(StorageConstrained(), BoundOptions{SkipRounding: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lag, err := inst.LagrangianBound(StorageConstrained(), LagrangianOptions{MaxIters: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The exact SC bound subtracts the anti-degeneracy slack, so compare
+	// against the uncorrected value with headroom.
+	if lag.LPBound > exact.LPBound*1.01+1 {
+		t.Errorf("Lagrangian SC %g exceeds exact %g", lag.LPBound, exact.LPBound)
+	}
+	if lag.LPBound < exact.LPBound*0.70 {
+		t.Errorf("Lagrangian SC %g too loose vs exact %g (<70%%)", lag.LPBound, exact.LPBound)
+	}
+}
+
+func TestLagrangianReplicaConstrained(t *testing.T) {
+	inst := lagSystem(t, 9, 6, 10, 1000)
+	exact, err := inst.LowerBound(ReplicaConstrained(), BoundOptions{SkipRounding: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lag, err := inst.LagrangianBound(ReplicaConstrained(), LagrangianOptions{MaxIters: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lag.LPBound > exact.LPBound*1.01+1 {
+		t.Errorf("Lagrangian RC %g exceeds exact %g", lag.LPBound, exact.LPBound)
+	}
+	if lag.LPBound < exact.LPBound*0.70 {
+		t.Errorf("Lagrangian RC %g too loose vs exact %g (<70%%)", lag.LPBound, exact.LPBound)
+	}
+}
+
+func TestLagrangianRejectsUnsupported(t *testing.T) {
+	inst := lagSystem(t, 2, 5, 8, 500)
+	if _, err := inst.LagrangianBound(&Class{Name: "x", Storage: PerEntity}, LagrangianOptions{}); err == nil {
+		t.Error("per-entity SC accepted")
+	}
+	if _, err := inst.LagrangianBound(&Class{Name: "x", Storage: Uniform, Replica: Uniform}, LagrangianOptions{}); err == nil {
+		t.Error("combined SC+RC accepted")
+	}
+	avgInst := *inst
+	avgInst.Goal = AvgLatency(200)
+	if _, err := avgInst.LagrangianBound(General(), LagrangianOptions{}); err == nil {
+		t.Error("average-latency goal accepted")
+	}
+}
+
+func TestLagrangianCachingClass(t *testing.T) {
+	// Caching carries SC + routing + knowledge + history + reactive; the
+	// engine must respect all of them. Use a goal the class can attain.
+	inst := lagSystem(t, 11, 6, 8, 1500)
+	inst.Goal = QoS(0.6, 150)
+	class := Caching(inst.Topo)
+	exact, err := inst.LowerBound(class, BoundOptions{SkipRounding: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lag, err := inst.LagrangianBound(class, LagrangianOptions{MaxIters: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lag.LPBound > exact.LPBound*1.01+1 {
+		t.Errorf("Lagrangian caching %g exceeds exact %g", lag.LPBound, exact.LPBound)
+	}
+}

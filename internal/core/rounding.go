@@ -1,0 +1,660 @@
+package core
+
+import (
+	"errors"
+	"math"
+)
+
+// This file implements the paper's domain-specific greedy rounding
+// algorithm (Appendix C, Figures 5-7). The LP relaxation leaves fractional
+// store values; the algorithm alternates between rounding one value up
+// (chosen by lowest cost/reward ratio) and rounding down as many values as
+// possible without violating the QoS goal, then adds the storage/replica
+// capacity top-ups required by the SC/RC class constraints.
+//
+// Two deliberate deviations from the figures, documented here and in
+// EXPERIMENTS.md:
+//
+//   - The marginal replica-creation cost of a rounding step is computed
+//     directly as the change of beta*max(0, store_i - store_{i-1}) summed
+//     over the affected intervals, which reproduces the figures' four-case
+//     analysis without transcribing their (typeset-mangled) signs.
+//   - QoS impact is tracked exactly per node (the paper notes per-user
+//     goals require exactly this) instead of through the aggregated
+//     estimate of Figure 6.
+//
+// The algorithm additionally refuses round-steps that would violate the
+// activity-history/reactive chain constraint (store may only rise at
+// intervals where creation is allowed); Proposition 1 of the paper makes
+// the weaker observation that zeros stay zeros, which alone does not
+// protect interior points of a fractional storage run.
+
+// RoundOptions configures Round.
+type RoundOptions struct {
+	// RunLength enables the run-length optimization of Appendix C: runs of
+	// consecutive intervals holding the same fractional value are rounded
+	// as one unit.
+	RunLength bool
+}
+
+// RoundResult is the feasible integer solution certified by the rounding.
+type RoundResult struct {
+	// Cost is the full cost of the feasible solution, including SC/RC
+	// capacity top-ups.
+	Cost float64
+	// Store is the integral placement: Store[n][i][k] reports whether node
+	// n holds object k during interval i (origin row all false; its
+	// permanent copies are implicit).
+	Store [][][]bool
+	// UpSteps and DownSteps count the rounding operations performed.
+	UpSteps, DownSteps int
+}
+
+// ErrRoundingStuck is returned when no legal round-up exists while
+// fractional values remain (this indicates an internal inconsistency).
+var ErrRoundingStuck = errors.New("core: rounding cannot make progress")
+
+type rounder struct {
+	in    *Instance
+	class *Class
+	opts  RoundOptions
+
+	nN, nI, nK int
+	origin     int
+
+	store    [][][]float64 // current values (origin row unused)
+	createOK [][][]bool    // nil rows mean always allowed
+	reach    [][]int
+	servedBy [][]int // reverse of reach
+	origCov  []bool
+
+	// Coverage bookkeeping per user node.
+	mass     [][][]float64 // sum of reachable store values, per (u,i,k)
+	intMass  [][][]int16   // count of reachable integral-1 stores
+	covered  []float64     // current fractionally covered demand per node
+	required []float64     // Tqos * R_n per node (minus origin constant)
+	totalCov float64       // aggregate covered demand (Overall scope)
+	totalReq float64
+
+	ups, downs int
+}
+
+// Round converts the fractional LP store solution into a feasible integral
+// solution and returns its cost. store is indexed [n][i][k] with the origin
+// row ignored.
+func (in *Instance) Round(class *Class, store [][][]float64, opts RoundOptions) (*RoundResult, error) {
+	if in.Goal.Kind != QoSGoal {
+		return nil, errors.New("core: rounding supports the QoS goal metric")
+	}
+	nN, nI, nK := in.Dims()
+	r := &rounder{
+		in: in, class: class, opts: opts,
+		nN: nN, nI: nI, nK: nK, origin: in.Topo.Origin,
+		store:    store,
+		createOK: in.createAllowed(class),
+		reach:    in.Reach(class),
+		origCov:  make([]bool, nN),
+	}
+	for n := 0; n < nN; n++ {
+		r.origCov[n] = in.originReachable(class, n)
+	}
+	r.servedBy = make([][]int, nN)
+	for u := 0; u < nN; u++ {
+		for _, m := range r.reach[u] {
+			r.servedBy[m] = append(r.servedBy[m], u)
+		}
+	}
+	r.initCoverage()
+	if err := r.run(); err != nil {
+		return nil, err
+	}
+	res := &RoundResult{
+		Store:     make([][][]bool, nN),
+		UpSteps:   r.ups,
+		DownSteps: r.downs,
+	}
+	for n := 0; n < nN; n++ {
+		res.Store[n] = make([][]bool, nI)
+		for i := 0; i < nI; i++ {
+			res.Store[n][i] = make([]bool, nK)
+			if n == r.origin {
+				continue
+			}
+			for k := 0; k < nK; k++ {
+				res.Store[n][i][k] = r.store[n][i][k] > 0.5
+			}
+		}
+	}
+	res.Cost = in.SolutionCost(class, res.Store)
+	return res, nil
+}
+
+func (r *rounder) initCoverage() {
+	nN, nI, nK := r.nN, r.nI, r.nK
+	r.mass = allocF3(nN, nI, nK)
+	r.intMass = allocI3(nN, nI, nK)
+	r.covered = make([]float64, nN)
+	r.required = make([]float64, nN)
+	for u := 0; u < nN; u++ {
+		total := 0.0
+		for i := 0; i < nI; i++ {
+			for k := 0; k < nK; k++ {
+				rd := float64(r.in.Counts.Reads[u][i][k])
+				if rd == 0 {
+					continue
+				}
+				total += rd
+				if r.origCov[u] {
+					continue // permanently covered; not tracked
+				}
+				m := 0.0
+				var im int16
+				for _, mm := range r.reach[u] {
+					v := r.store[mm][i][k]
+					m += v
+					if v >= 1 {
+						im++
+					}
+				}
+				r.mass[u][i][k] = m
+				r.intMass[u][i][k] = im
+				r.covered[u] += rd * math.Min(1, m)
+			}
+		}
+		req := r.in.Goal.Tqos * total
+		if r.origCov[u] {
+			req = 0 // fully covered by the origin
+		}
+		r.required[u] = req
+		r.totalReq += req
+		r.totalCov += r.covered[u]
+	}
+}
+
+// candidate identifies a run of fractional values at node n, object k,
+// intervals [i0, i1].
+type candidate struct {
+	n, k, i0, i1 int
+}
+
+func (r *rounder) fractional(n, i, k int) bool {
+	v := r.store[n][i][k]
+	return v > 1e-9 && v < 1-1e-9
+}
+
+// candidates enumerates the current fractional runs.
+func (r *rounder) candidates() []candidate {
+	var out []candidate
+	for n := 0; n < r.nN; n++ {
+		if n == r.origin {
+			continue
+		}
+		for k := 0; k < r.nK; k++ {
+			for i := 0; i < r.nI; i++ {
+				if !r.fractional(n, i, k) {
+					continue
+				}
+				i1 := i
+				if r.opts.RunLength {
+					v := r.store[n][i][k]
+					for i1+1 < r.nI && r.store[n][i1+1][k] == v {
+						i1++
+					}
+				}
+				out = append(out, candidate{n: n, k: k, i0: i, i1: i1})
+				i = i1
+			}
+		}
+	}
+	return out
+}
+
+// prevVal and succVal give the neighboring interval values with the
+// paper's corner-case conventions (prev = 0 before the first interval,
+// succ = value after the last).
+func (r *rounder) prevVal(c candidate) float64 {
+	if c.i0 == 0 {
+		if r.in.initiallyStored(c.n, c.k) {
+			return 1
+		}
+		return 0
+	}
+	return r.store[c.n][c.i0-1][c.k]
+}
+
+func (r *rounder) succVal(c candidate) float64 {
+	if c.i1 == r.nI-1 {
+		return r.store[c.n][c.i1][c.k]
+	}
+	return r.store[c.n][c.i1+1][c.k]
+}
+
+// creationDelta returns the change in beta-weighted creation cost when the
+// run's value changes from val to target.
+func (r *rounder) creationDelta(c candidate, target float64) float64 {
+	val := r.store[c.n][c.i0][c.k]
+	prev, succ := r.prevVal(c), r.succVal(c)
+	before := math.Max(0, val-prev) + math.Max(0, succ-val)
+	after := math.Max(0, target-prev) + math.Max(0, succ-target)
+	if c.i1 == r.nI-1 {
+		// succ mirrors the value itself at the horizon's end: only the
+		// rise at i0 matters.
+		before = math.Max(0, val-prev)
+		after = math.Max(0, target-prev)
+	}
+	return r.in.Cost.Beta * (after - before)
+}
+
+// stepCost returns the full cost delta of moving the run to target,
+// including storage and the update-cost extension.
+func (r *rounder) stepCost(c candidate, target float64) float64 {
+	val := r.store[c.n][c.i0][c.k]
+	intervals := float64(c.i1 - c.i0 + 1)
+	d := r.in.Cost.Alpha * intervals * (target - val)
+	if r.in.Cost.Delta > 0 {
+		for i := c.i0; i <= c.i1; i++ {
+			w := 0.0
+			for n := 0; n < r.nN; n++ {
+				w += float64(r.in.Counts.Writes[n][i][c.k])
+			}
+			d += r.in.Cost.Delta * w * (target - val)
+		}
+	}
+	return d + r.creationDelta(c, target)
+}
+
+// reward is the paper's reward metric: demand of reachable users that have
+// no integral replica coverage for (i, k) yet.
+func (r *rounder) reward(c candidate) float64 {
+	total := 0.0
+	for _, u := range r.servedBy[c.n] {
+		if r.origCov[u] {
+			continue
+		}
+		for i := c.i0; i <= c.i1; i++ {
+			if r.intMass[u][i][c.k] == 0 {
+				total += float64(r.in.Counts.Reads[u][i][c.k])
+			}
+		}
+	}
+	return total
+}
+
+// qosDelta returns the exact per-node change of covered demand when the
+// run's value moves from val to target. The result maps only nodes with a
+// nonzero change.
+func (r *rounder) qosDelta(c candidate, target float64) map[int]float64 {
+	val := r.store[c.n][c.i0][c.k]
+	d := target - val
+	out := make(map[int]float64)
+	for _, u := range r.servedBy[c.n] {
+		if r.origCov[u] {
+			continue
+		}
+		delta := 0.0
+		for i := c.i0; i <= c.i1; i++ {
+			rd := float64(r.in.Counts.Reads[u][i][c.k])
+			if rd == 0 {
+				continue
+			}
+			m := r.mass[u][i][c.k]
+			delta += rd * (math.Min(1, m+d) - math.Min(1, m))
+		}
+		if delta != 0 {
+			out[u] = delta
+		}
+	}
+	return out
+}
+
+// apply moves the run to target and updates all bookkeeping.
+func (r *rounder) apply(c candidate, target float64) {
+	val := r.store[c.n][c.i0][c.k]
+	d := target - val
+	for i := c.i0; i <= c.i1; i++ {
+		r.store[c.n][i][c.k] = target
+	}
+	for _, u := range r.servedBy[c.n] {
+		if r.origCov[u] {
+			continue
+		}
+		for i := c.i0; i <= c.i1; i++ {
+			m := r.mass[u][i][c.k]
+			r.mass[u][i][c.k] = m + d
+			rd := float64(r.in.Counts.Reads[u][i][c.k])
+			if rd != 0 {
+				delta := rd * (math.Min(1, m+d) - math.Min(1, m))
+				r.covered[u] += delta
+				r.totalCov += delta
+			}
+			if target >= 1 && val < 1 {
+				r.intMass[u][i][c.k]++
+			} else if target < 1 && val >= 1 {
+				r.intMass[u][i][c.k]--
+			}
+		}
+	}
+}
+
+// chainOKUp reports whether raising the run to 1 keeps the activity-history
+// chain constraint satisfiable: the value may only rise at an interval
+// where creation is allowed, unless the previous interval already holds a
+// full replica.
+func (r *rounder) chainOKUp(c candidate) bool {
+	if r.createOK[c.n] == nil {
+		return true
+	}
+	if r.createOK[c.n][c.i0][c.k] {
+		return true
+	}
+	return r.prevVal(c) >= 1-1e-9
+}
+
+// chainOKDown reports whether dropping the run to 0 keeps the successor
+// interval's chain constraint satisfiable.
+func (r *rounder) chainOKDown(c candidate) bool {
+	if r.createOK[c.n] == nil {
+		return true
+	}
+	next := c.i1 + 1
+	if next >= r.nI {
+		return true
+	}
+	if r.store[c.n][next][c.k] <= 1e-9 {
+		return true
+	}
+	return r.createOK[c.n][next][c.k]
+}
+
+// qosOKAfter reports whether the QoS goal still holds after applying the
+// given per-node coverage deltas.
+func (r *rounder) qosOKAfter(deltas map[int]float64) bool {
+	const eps = 1e-7
+	if r.in.Goal.Scope == Overall {
+		total := 0.0
+		for _, d := range deltas {
+			total += d
+		}
+		return r.totalCov+total >= r.totalReq-eps
+	}
+	for u, d := range deltas {
+		if r.covered[u]+d < r.required[u]-eps*math.Max(1, r.required[u]) {
+			return false
+		}
+	}
+	return true
+}
+
+// run executes the main loop of Figure 5.
+func (r *rounder) run() error {
+	for {
+		cands := r.candidates()
+		if len(cands) == 0 {
+			return nil
+		}
+		// Round up: lowest cost/reward ratio; ties and zero rewards fall
+		// back to lowest cost.
+		best, bestRatio, bestCost := -1, math.Inf(1), math.Inf(1)
+		for idx, c := range cands {
+			if !r.chainOKUp(c) {
+				continue
+			}
+			cost := r.stepCost(c, 1)
+			rew := r.reward(c)
+			ratio := math.Inf(1)
+			if rew > 0 {
+				ratio = cost / rew
+			}
+			if ratio < bestRatio-1e-12 ||
+				(ratio <= bestRatio+1e-12 && cost < bestCost) {
+				best, bestRatio, bestCost = idx, ratio, cost
+			}
+		}
+		if best < 0 {
+			return ErrRoundingStuck
+		}
+		r.apply(cands[best], 1)
+		r.ups++
+
+		// Round down repeatedly while some candidate keeps QoS intact.
+		for {
+			cands = r.candidates()
+			downIdx, downScore := -1, math.Inf(-1)
+			for idx, c := range cands {
+				if !r.chainOKDown(c) {
+					continue
+				}
+				cost := r.stepCost(c, 0)
+				if cost >= -1e-12 {
+					continue // no savings
+				}
+				deltas := r.qosDelta(c, 0)
+				if !r.qosOKAfter(deltas) {
+					continue
+				}
+				rew := r.reward(c)
+				var score float64
+				if rew == 0 {
+					score = math.Inf(1) // pure win: costs nothing in QoS
+				} else {
+					score = -cost / rew
+				}
+				if score > downScore {
+					downIdx, downScore = idx, score
+				}
+			}
+			if downIdx < 0 {
+				break
+			}
+			r.apply(cands[downIdx], 0)
+			r.downs++
+		}
+	}
+}
+
+// SolutionCost computes the full MC-PERF cost of an integral placement,
+// including the storage/replica top-ups implied by the class's SC/RC
+// constraints (Figure 5's closing accounting) and the open-node cost.
+func (in *Instance) SolutionCost(class *Class, store [][][]bool) float64 {
+	nN, nI, nK := in.Dims()
+	origin := in.Topo.Origin
+	cost := 0.0
+	// Per-(interval, object) write totals for the update-cost term.
+	var writeIK [][]float64
+	if in.Cost.Delta > 0 {
+		writeIK = make([][]float64, nI)
+		for i := 0; i < nI; i++ {
+			writeIK[i] = make([]float64, nK)
+			for n := 0; n < nN; n++ {
+				for k := 0; k < nK; k++ {
+					writeIK[i][k] += float64(in.Counts.Writes[n][i][k])
+				}
+			}
+		}
+	}
+	for n := 0; n < nN; n++ {
+		if n == origin {
+			continue
+		}
+		used := false
+		for i := 0; i < nI; i++ {
+			for k := 0; k < nK; k++ {
+				if !store[n][i][k] {
+					continue
+				}
+				used = true
+				cost += in.Cost.Alpha
+				if writeIK != nil {
+					cost += in.Cost.Delta * writeIK[i][k]
+				}
+				rose := i == 0 && !in.initiallyStored(n, k) ||
+					i > 0 && !store[n][i-1][k]
+				if rose {
+					cost += in.Cost.Beta
+				}
+			}
+		}
+		if used && in.Cost.Zeta > 0 {
+			cost += in.Cost.Zeta
+		}
+	}
+	if in.Cost.Gamma > 0 {
+		cost += in.Cost.Gamma * in.uncoveredReads(class, store)
+	}
+	cost += in.storageTopUp(class, store)
+	cost += in.replicaTopUp(class, store)
+	return cost
+}
+
+// uncoveredReads counts reads not served within the threshold by the
+// placement (for the best-effort penalty term).
+func (in *Instance) uncoveredReads(class *Class, store [][][]bool) float64 {
+	nN, nI, nK := in.Dims()
+	reach := in.Reach(class)
+	total := 0.0
+	for u := 0; u < nN; u++ {
+		if in.originReachable(class, u) {
+			continue
+		}
+		for i := 0; i < nI; i++ {
+			for k := 0; k < nK; k++ {
+				rd := in.Counts.Reads[u][i][k]
+				if rd == 0 {
+					continue
+				}
+				cov := false
+				for _, m := range reach[u] {
+					if store[m][i][k] {
+						cov = true
+						break
+					}
+				}
+				if !cov {
+					total += float64(rd)
+				}
+			}
+		}
+	}
+	return total
+}
+
+// storageTopUp returns the extra cost needed to honor the SC constraint:
+// every node (every interval) must use the class's fixed capacity.
+func (in *Instance) storageTopUp(class *Class, store [][][]bool) float64 {
+	if class == nil || class.Storage == NoConstraint {
+		return 0
+	}
+	nN, nI, _ := in.Dims()
+	origin := in.Topo.Origin
+	// cap[n][i]: objects stored.
+	capNI := make([][]int, nN)
+	cmax := 0
+	nodeMax := make([]int, nN)
+	for n := 0; n < nN; n++ {
+		if n == origin {
+			continue
+		}
+		capNI[n] = make([]int, nI)
+		for i := 0; i < nI; i++ {
+			c := 0
+			for _, s := range store[n][i] {
+				if s {
+					c++
+				}
+			}
+			capNI[n][i] = c
+			if c > cmax {
+				cmax = c
+			}
+			if c > nodeMax[n] {
+				nodeMax[n] = c
+			}
+		}
+	}
+	cost := 0.0
+	for n := 0; n < nN; n++ {
+		if n == origin {
+			continue
+		}
+		target := cmax
+		if class.Storage == PerEntity {
+			target = nodeMax[n]
+		}
+		for i := 0; i < nI; i++ {
+			cost += in.Cost.Alpha * float64(target-capNI[n][i])
+		}
+		if class.Storage == Uniform {
+			cost += in.Cost.Beta * float64(cmax-nodeMax[n])
+		}
+	}
+	return cost
+}
+
+// replicaTopUp returns the extra cost needed to honor the RC constraint:
+// every object (every interval) must have the class's fixed replica count.
+func (in *Instance) replicaTopUp(class *Class, store [][][]bool) float64 {
+	if class == nil || class.Replica == NoConstraint {
+		return 0
+	}
+	nN, nI, nK := in.Dims()
+	origin := in.Topo.Origin
+	repIK := make([][]int, nI)
+	rmax := 0
+	objMax := make([]int, nK)
+	for i := 0; i < nI; i++ {
+		repIK[i] = make([]int, nK)
+		for k := 0; k < nK; k++ {
+			c := 0
+			for n := 0; n < nN; n++ {
+				if n != origin && store[n][i][k] {
+					c++
+				}
+			}
+			repIK[i][k] = c
+			if c > rmax {
+				rmax = c
+			}
+			if c > objMax[k] {
+				objMax[k] = c
+			}
+		}
+	}
+	cost := 0.0
+	for k := 0; k < nK; k++ {
+		target := rmax
+		if class.Replica == PerEntity {
+			target = objMax[k]
+		}
+		for i := 0; i < nI; i++ {
+			cost += in.Cost.Alpha * float64(target-repIK[i][k])
+		}
+		if class.Replica == Uniform {
+			cost += in.Cost.Beta * float64(rmax-objMax[k])
+		}
+	}
+	return cost
+}
+
+func allocF3(n, i, k int) [][][]float64 {
+	backing := make([]float64, n*i*k)
+	out := make([][][]float64, n)
+	for a := 0; a < n; a++ {
+		out[a] = make([][]float64, i)
+		for b := 0; b < i; b++ {
+			out[a][b], backing = backing[:k:k], backing[k:]
+		}
+	}
+	return out
+}
+
+func allocI3(n, i, k int) [][][]int16 {
+	backing := make([]int16, n*i*k)
+	out := make([][][]int16, n)
+	for a := 0; a < n; a++ {
+		out[a] = make([][]int16, i)
+		for b := 0; b < i; b++ {
+			out[a][b], backing = backing[:k:k], backing[k:]
+		}
+	}
+	return out
+}

@@ -1,0 +1,227 @@
+// Package experiments wires topologies, workloads, bounds, rounding and
+// simulation into the concrete experiments of the paper's evaluation
+// (Section 6): Figure 1 (per-class lower bounds vs QoS), Figure 2
+// (deployed heuristics vs their class bounds), Figure 3 (bounds on the
+// deployed reduced topology) and Table 3 (the class taxonomy). The cmd/
+// tools and the benchmark harness are thin wrappers over this package.
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"wideplace/internal/core"
+	"wideplace/internal/topology"
+	"wideplace/internal/workload"
+)
+
+// WorkloadKind selects the paper's WEB or GROUP workload.
+type WorkloadKind string
+
+// The two evaluation workloads.
+const (
+	WEB   WorkloadKind = "web"
+	GROUP WorkloadKind = "group"
+)
+
+// Scale selects a preset experiment size. The paper's full scale (20
+// nodes, 1000 objects, 300K/16M requests, 24 one-hour intervals) drives
+// CPLEX for up to 12 hours; the presets keep the workload *shape* (Zipf vs
+// uniform popularity, uneven vs even site activity) while shrinking the
+// object count and horizon so a bound solves in seconds to minutes on one
+// core. EXPERIMENTS.md records which scale produced each reported number.
+type Scale string
+
+// Available scales.
+const (
+	// ScaleSmall: CI-sized; every figure regenerates in seconds.
+	ScaleSmall Scale = "small"
+	// ScaleMedium: the default for reported results; minutes per figure.
+	ScaleMedium Scale = "medium"
+	// ScaleLarge: closest to the paper; tens of minutes per figure.
+	ScaleLarge Scale = "large"
+)
+
+// Spec fixes every parameter of an experiment run.
+type Spec struct {
+	Workload WorkloadKind
+	Nodes    int
+	Objects  int
+	Requests int
+	Horizon  time.Duration
+	Delta    time.Duration
+	Seed     uint64
+	Tlat     float64
+	// QoSPoints are the goal levels swept on the x axis (the paper uses
+	// 0.95, 0.99, 0.999, 0.9999, 0.99999).
+	QoSPoints []float64
+	// Zeta is the node-opening cost of the deployment scenario.
+	Zeta float64
+	// ZipfS is the WEB workload's Zipf exponent (0 = generator default).
+	ZipfS float64
+}
+
+// NewSpec returns the spec for a workload at a preset scale.
+func NewSpec(kind WorkloadKind, scale Scale) (Spec, error) {
+	s := Spec{
+		Workload:  kind,
+		Nodes:     20,
+		Tlat:      150,
+		Delta:     time.Hour,
+		Seed:      1,
+		QoSPoints: []float64{0.95, 0.99, 0.999, 0.9999, 0.99999},
+		Zeta:      10000,
+	}
+	switch scale {
+	case ScaleSmall:
+		s.Nodes = 10
+		s.Objects = 24
+		s.Horizon = 8 * time.Hour
+		s.Requests = 6000
+		s.Zeta = 500
+	case ScaleMedium:
+		// 50 objects against ~2000 reads per node give WEB a cold tail
+		// that penalizes the replica constraint. Twelve hourly intervals
+		// keep every class bound under ~10s per point on one core; the
+		// flip side is that reactive classes (caching) hit their cold-miss
+		// ceiling (~1/12 of a node's reads) just above the 90% point, so
+		// the sweep starts at 0.90 to show caching before it truncates.
+		// ScaleLarge restores the paper's 24 intervals.
+		s.Nodes = 10
+		s.Objects = 50
+		s.Horizon = 12 * time.Hour
+		s.Requests = 20000
+		s.Zeta = 2000
+		s.QoSPoints = []float64{0.90, 0.95, 0.99, 0.999, 0.9999}
+	case ScaleLarge:
+		// Paper-like request density (~0.6 reads per node-interval-object
+		// cell) so WEB has a genuinely cold object tail; that cold tail is
+		// what makes the replica constraint expensive relative to the
+		// storage constraint (the paper's central WEB conclusion). Expect
+		// minutes-to-hours per SC/RC bound point at this size.
+		s.Objects = 150
+		s.Horizon = 24 * time.Hour
+		s.Requests = 45000
+		s.Zeta = 10000
+		s.ZipfS = 1.1
+	default:
+		return Spec{}, fmt.Errorf("experiments: unknown scale %q", scale)
+	}
+	if kind == GROUP {
+		// GROUP has ~50x WEB's request volume in the paper (16M vs 300K);
+		// keep a 4x ratio so runtimes stay bounded.
+		s.Requests *= 4
+	}
+	return s, nil
+}
+
+// System materializes the spec: topology, trace and bucketed counts.
+type System struct {
+	Spec   Spec
+	Topo   *topology.Topology
+	Trace  *workload.Trace
+	Counts *workload.Counts
+}
+
+// Build generates the deterministic system for a spec.
+func Build(spec Spec) (*System, error) {
+	topo, err := topology.Generate(topology.GenOptions{N: spec.Nodes, Seed: spec.Seed})
+	if err != nil {
+		return nil, fmt.Errorf("generate topology: %w", err)
+	}
+	var trace *workload.Trace
+	switch spec.Workload {
+	case WEB:
+		trace, err = workload.GenerateWeb(workload.WebOptions{
+			Nodes: spec.Nodes, Objects: spec.Objects, Requests: spec.Requests,
+			Duration: spec.Horizon, Seed: spec.Seed, ZipfS: spec.ZipfS,
+		})
+	case GROUP:
+		trace, err = workload.GenerateGroup(workload.GroupOptions{
+			Nodes: spec.Nodes, Objects: spec.Objects, Requests: spec.Requests,
+			Duration: spec.Horizon, Seed: spec.Seed,
+		})
+	default:
+		return nil, fmt.Errorf("experiments: unknown workload %q", spec.Workload)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("generate %s workload: %w", spec.Workload, err)
+	}
+	counts, err := trace.Bucket(spec.Delta)
+	if err != nil {
+		return nil, err
+	}
+	return &System{Spec: spec, Topo: topo, Trace: trace, Counts: counts}, nil
+}
+
+// Instance builds the MC-PERF instance at one QoS point.
+func (s *System) Instance(tqos float64) (*core.Instance, error) {
+	return core.NewInstance(s.Topo, s.Counts, core.DefaultCost(), core.QoS(tqos, s.Spec.Tlat))
+}
+
+// Point is one (class, QoS level) cell of a bound figure.
+type Point struct {
+	Class      string
+	QoS        float64
+	Bound      float64
+	Feasible   float64
+	Infeasible bool // the class cannot meet this QoS level at any cost
+}
+
+// Series is one curve of a figure.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Figure is a set of curves plus provenance.
+type Figure struct {
+	Title  string
+	Spec   Spec
+	Series []Series
+}
+
+// WriteTSV renders the figure as a QoS-by-series table; infeasible points
+// print as "-" (the paper's curves simply stop there).
+func (f *Figure) WriteTSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# %s (workload=%s nodes=%d objects=%d requests=%d)\n",
+		f.Title, f.Spec.Workload, f.Spec.Nodes, f.Spec.Objects, f.Spec.Requests); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "qos")
+	for _, s := range f.Series {
+		fmt.Fprintf(w, "\t%s", s.Name)
+	}
+	fmt.Fprintln(w)
+	if len(f.Series) == 0 {
+		return nil
+	}
+	for i := range f.Series[0].Points {
+		fmt.Fprintf(w, "%g", f.Series[0].Points[i].QoS*100)
+		for _, s := range f.Series {
+			p := s.Points[i]
+			if p.Infeasible {
+				fmt.Fprintf(w, "\t-")
+			} else {
+				fmt.Fprintf(w, "\t%.0f", p.Bound)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// boundOrInfeasible wraps LowerBound, mapping goal unattainability to an
+// infeasible point instead of an error.
+func boundPoint(inst *core.Instance, class *core.Class, tqos float64, opts core.BoundOptions) (Point, error) {
+	b, err := inst.LowerBound(class, opts)
+	if err != nil {
+		if errors.Is(err, core.ErrGoalUnattainable) {
+			return Point{Class: class.Name, QoS: tqos, Infeasible: true}, nil
+		}
+		return Point{}, err
+	}
+	return Point{Class: class.Name, QoS: tqos, Bound: b.LPBound, Feasible: b.FeasibleCost}, nil
+}

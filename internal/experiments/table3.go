@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"wideplace/internal/core"
+	"wideplace/internal/topology"
+)
+
+// Table3Row is one row of the paper's Table 3: a heuristic class described
+// by its property combination.
+type Table3Row struct {
+	Class    string
+	SC       bool
+	RC       bool
+	Route    string // "global" or "local"
+	Know     string // "global" or "local"
+	Hist     string // "multi" or "single"
+	Reactive bool
+	Examples string
+}
+
+// Table3 reproduces the paper's taxonomy for a concrete system (the
+// fetch/know matrices need a topology to materialize).
+func Table3(topo *topology.Topology, tlat float64) []Table3Row {
+	classes := core.Classes(topo, tlat)
+	examples := map[string]string{
+		"general":                 "any placement algorithm (general bound)",
+		"storage-constrained":     "storage constrained heuristics [3, 4]",
+		"replica-constrained":     "replica constrained heuristics [3, 11]",
+		"decentral-local-routing": "decentralized storage constrained w/ local routing [4, 12]",
+		"caching":                 "local caching [14]",
+		"coop-caching":            "cooperative caching [7]",
+		"caching-prefetch":        "local caching with prefetching [14]",
+		"coop-caching-prefetch":   "cooperative caching with prefetching [19]",
+	}
+	rows := make([]Table3Row, 0, len(classes))
+	for _, c := range classes {
+		row := Table3Row{
+			Class:    c.Name,
+			SC:       c.Storage != core.NoConstraint,
+			RC:       c.Replica != core.NoConstraint,
+			Route:    matrixKind(c.Fetch, topo),
+			Know:     matrixKind(c.Know, topo),
+			Hist:     "multi",
+			Reactive: c.Reactive,
+			Examples: examples[c.Name],
+		}
+		if c.History == 1 {
+			row.Hist = "single"
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// matrixKind classifies a routing/knowledge matrix as global (nil or all
+// true) or local (anything restricted).
+func matrixKind(m [][]bool, topo *topology.Topology) string {
+	if m == nil {
+		return "global"
+	}
+	if topology.CountTrue(m) == topo.N*topo.N {
+		return "global"
+	}
+	return "local"
+}
+
+// WriteTable3 renders the taxonomy as an aligned text table.
+func WriteTable3(w io.Writer, rows []Table3Row) error {
+	if _, err := fmt.Fprintf(w, "%-26s %-3s %-3s %-7s %-7s %-7s %-6s %s\n",
+		"class", "SC", "RC", "route", "know", "hist", "react", "examples"); err != nil {
+		return err
+	}
+	mark := func(b bool) string {
+		if b {
+			return "x"
+		}
+		return ""
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%-26s %-3s %-3s %-7s %-7s %-7s %-6s %s\n",
+			r.Class, mark(r.SC), mark(r.RC), r.Route, r.Know, r.Hist, mark(r.Reactive), r.Examples); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,87 @@
+package heuristics
+
+import (
+	"fmt"
+	"time"
+
+	"wideplace/internal/sim"
+)
+
+// CoopLRU is cooperative caching (paper Table 3: cooperative caching [7]):
+// each node runs a fixed-capacity LRU cache but knows the contents of all
+// nodes within the latency threshold, serving remote hits from the nearest
+// such holder before falling back to the origin. A remote hit does not
+// duplicate the object locally, which lets the neighborhood act as one
+// larger cache.
+type CoopLRU struct {
+	capacity int
+	env      *sim.Env
+	caches   []*lruCache
+	order    [][]int
+}
+
+var _ sim.Heuristic = (*CoopLRU)(nil)
+
+// NewCoopLRU returns cooperative LRU caching with the given per-node
+// capacity.
+func NewCoopLRU(capacity int) *CoopLRU { return &CoopLRU{capacity: capacity} }
+
+// Name implements sim.Heuristic.
+func (c *CoopLRU) Name() string { return fmt.Sprintf("coop-caching(c=%d)", c.capacity) }
+
+// Attach implements sim.Heuristic.
+func (c *CoopLRU) Attach(env *sim.Env) error {
+	if env == nil {
+		return errNilEnv
+	}
+	c.env = env
+	c.caches = make([]*lruCache, env.Topo.N)
+	for n := range c.caches {
+		c.caches[n] = newLRUCache(c.capacity)
+	}
+	c.order = neighborOrder(env)
+	return nil
+}
+
+// OnIntervalStart implements sim.Heuristic.
+func (c *CoopLRU) OnIntervalStart(int, time.Duration) {}
+
+// OnRead implements sim.Heuristic.
+func (c *CoopLRU) OnRead(node, object int, at time.Duration) int {
+	if node == c.env.Topo.Origin {
+		return node
+	}
+	if c.caches[node].touch(object) {
+		return node
+	}
+	// Look for a neighborhood hit within the threshold.
+	for _, m := range c.order[node] {
+		if m == node {
+			continue
+		}
+		if c.env.Topo.Latency[node][m] > c.env.Tlat {
+			break
+		}
+		if m != c.env.Topo.Origin && c.env.Tracker.Stored(m, object) {
+			c.caches[m].touch(object)
+			return m
+		}
+		if m == c.env.Topo.Origin {
+			// The origin is inside the neighborhood: a free hit.
+			return m
+		}
+	}
+	// Full miss: fetch from the origin, insert locally.
+	if c.capacity > 0 {
+		if victim, evict := c.caches[node].insert(object); evict {
+			c.env.Tracker.Evict(node, victim, at)
+		}
+		c.env.Tracker.Create(node, object, at)
+	}
+	return sim.Origin
+}
+
+// ProvisionedObjectHours implements sim.Heuristic.
+func (c *CoopLRU) ProvisionedObjectHours(horizon time.Duration) float64 {
+	return float64(c.capacity) * float64(c.env.Topo.N-1) * horizonHours(horizon)
+}

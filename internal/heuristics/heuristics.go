@@ -1,0 +1,83 @@
+// Package heuristics implements live replica placement heuristics from the
+// paper's Table 3 for evaluation in the simulator: LRU and LFU caching,
+// cooperative caching, a greedy-global storage-constrained placement
+// (Kangasharju-style) and a greedy replica-constrained placement (Qiu-
+// style), each with optional prefetching (current-interval knowledge).
+package heuristics
+
+import (
+	"errors"
+	"sort"
+	"time"
+
+	"wideplace/internal/sim"
+	"wideplace/internal/workload"
+)
+
+// neighborOrder returns, for each node, all nodes sorted by ascending
+// latency (self first).
+func neighborOrder(env *sim.Env) [][]int {
+	n := env.Topo.N
+	out := make([][]int, n)
+	for u := 0; u < n; u++ {
+		order := make([]int, n)
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(a, b int) bool {
+			return env.Topo.Latency[u][order[a]] < env.Topo.Latency[u][order[b]]
+		})
+		out[u] = order
+	}
+	return out
+}
+
+// serveNearest returns the lowest-latency source currently holding the
+// object: the node itself, another holder, or the origin. When
+// withinTlatOnly is set, remote holders beyond the threshold are ignored
+// (they would not improve QoS and plain caching cannot reach them anyway).
+func serveNearest(env *sim.Env, order [][]int, node, object int, withinTlatOnly bool) int {
+	for _, m := range order[node] {
+		lat := env.Topo.Latency[node][m]
+		if withinTlatOnly && lat > env.Tlat {
+			break
+		}
+		if m == env.Topo.Origin || env.Tracker.Stored(m, object) {
+			if m == env.Topo.Origin {
+				return sim.Origin
+			}
+			return m
+		}
+	}
+	return sim.Origin
+}
+
+// demandSource yields per-interval demand matrices for the periodic
+// centralized heuristics. Reactive heuristics see the previous interval's
+// counts; prefetching (oracle) heuristics see the current interval's.
+type demandSource struct {
+	counts *workload.Counts
+	oracle bool
+}
+
+// at returns the demand matrix [node][object] visible when placing for
+// interval i, or nil when none is visible yet.
+func (d demandSource) at(i int) [][]int {
+	src := i - 1
+	if d.oracle {
+		src = i
+	}
+	if src < 0 || src >= d.counts.Intervals {
+		return nil
+	}
+	out := make([][]int, d.counts.Nodes)
+	for n := range out {
+		out[n] = d.counts.Reads[n][src]
+	}
+	return out
+}
+
+var errNilEnv = errors.New("heuristics: Attach called with nil environment")
+
+// horizonHours converts a duration to fractional hours.
+func horizonHours(d time.Duration) float64 { return d.Hours() }

@@ -1,0 +1,112 @@
+package heuristics
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"wideplace/internal/core"
+	"wideplace/internal/sim"
+	"wideplace/internal/topology"
+	"wideplace/internal/workload"
+)
+
+func TestStaticAppliesSchedule(t *testing.T) {
+	tp := line3(t)
+	e := &sim.Env{Topo: tp, Objects: 2, Tlat: 150, Tracker: sim.NewTracker(3, 2, 0)}
+	plan := [][][]bool{
+		{{false, false}, {false, false}},
+		{{true, false}, {false, true}},
+		{{false, false}, {true, false}},
+	}
+	h := NewStatic(plan, time.Hour)
+	if err := h.Attach(e); err != nil {
+		t.Fatal(err)
+	}
+	h.OnIntervalStart(0, 0)
+	if !e.Tracker.Stored(1, 0) || e.Tracker.Stored(1, 1) {
+		t.Error("interval 0 placement wrong on node 1")
+	}
+	h.OnIntervalStart(1, time.Hour)
+	if e.Tracker.Stored(1, 0) || !e.Tracker.Stored(1, 1) {
+		t.Error("interval 1 transition wrong on node 1")
+	}
+	if !e.Tracker.Stored(2, 0) {
+		t.Error("interval 1 placement wrong on node 2")
+	}
+	// Serving uses the nearest holder.
+	if src := h.OnRead(2, 0, 61*time.Minute); src != 2 {
+		t.Errorf("served from %d, want local replica", src)
+	}
+	if src := h.OnRead(2, 1, 62*time.Minute); src != 1 {
+		t.Errorf("served from %d, want node 1", src)
+	}
+}
+
+func TestStaticValidation(t *testing.T) {
+	tp := line3(t)
+	e := &sim.Env{Topo: tp, Objects: 1, Tlat: 150, Tracker: sim.NewTracker(3, 1, 0)}
+	if err := NewStatic(nil, time.Hour).Attach(e); err == nil {
+		t.Error("nil plan accepted")
+	}
+	plan := [][][]bool{{}, {}, {}}
+	if err := NewStatic(plan, 0).Attach(e); err == nil {
+		t.Error("zero interval accepted")
+	}
+}
+
+// TestStaticClosesTheLoop is the bound/simulator cross-validation: the
+// integral placement produced by the rounding algorithm, replayed in the
+// simulator, must (a) meet the QoS goal as measured by the simulator and
+// (b) cost exactly what core.SolutionCost computed for it.
+func TestStaticClosesTheLoop(t *testing.T) {
+	tp, err := topology.Generate(topology.GenOptions{N: 8, Seed: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := workload.GenerateWeb(workload.WebOptions{
+		Nodes: 8, Objects: 15, Requests: 3000, Seed: 4, Duration: 8 * time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts, err := tr.Bucket(time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tqos = 0.9
+	inst, err := core.NewInstance(tp, counts, core.DefaultCost(), core.QoS(tqos, 150))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound, err := inst.LowerBound(core.General(), core.BoundOptions{SkipRounding: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := inst.Round(core.General(), bound.StoreFrac, core.RoundOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := sim.Run(sim.Config{
+		Topo: tp, Trace: tr, Interval: time.Hour, Tlat: 150, Alpha: 1, Beta: 1,
+	}, NewStatic(rr.Store, time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (a) the simulator agrees the QoS goal is met per user.
+	if m.MinNodeQoS < tqos {
+		t.Errorf("simulated min-node QoS %.4f below goal %.2f", m.MinNodeQoS, tqos)
+	}
+	// (b) simulated cost equals the analytic cost of the placement. The
+	// simulator integrates object-hours over wall-clock intervals of 1h,
+	// matching alpha per object-interval; creations match beta.
+	want := inst.SolutionCost(core.General(), rr.Store)
+	if math.Abs(m.Cost-want) > 1e-6*math.Max(1, want) {
+		t.Errorf("simulated cost %.3f != analytic cost %.3f", m.Cost, want)
+	}
+	// And it can never beat the LP bound.
+	if m.Cost < bound.LPBound-1e-6 {
+		t.Errorf("simulated cost %.3f below LP bound %.3f", m.Cost, bound.LPBound)
+	}
+}

@@ -1,0 +1,94 @@
+package lp
+
+// Factorizer abstracts a factorization of the simplex basis matrix B. The
+// simplex core uses it through FTRAN (solve B*x = b) and BTRAN (solve
+// B^T*y = c), plus an incremental Update when one basis column is replaced.
+//
+// Implementations append product-form eta vectors on Update and signal via
+// the returned bool when a full refactorization is advisable.
+type Factorizer interface {
+	// Factor (re)factorizes the basis given by the m column indices in
+	// basis, drawing columns from the problem matrix a.
+	Factor(a *CSC, basis []int) error
+	// Ftran solves B*x = b in place (b has length m).
+	Ftran(b []float64)
+	// Btran solves B^T*y = c in place (c has length m).
+	Btran(c []float64)
+	// Update replaces basis position pos with a column whose FTRAN image
+	// (B^-1 * a_q) is w. It returns refactor=true when the eta file has
+	// grown enough that a fresh Factor call is recommended, and an error
+	// when the pivot element is numerically unusable.
+	Update(w []float64, pos int) (refactor bool, err error)
+}
+
+// eta is one product-form update: B_new^-1 = E * B_old^-1 where E differs
+// from the identity only in column pos.
+type eta struct {
+	pos  int
+	idx  []int // nonzero positions (excluding pos handled via pivot)
+	val  []float64
+	pivv float64 // value at position pos of the eta column (the pivot)
+}
+
+// etaFile is a sequence of product-form updates shared by both factorization
+// backends.
+type etaFile struct {
+	etas []eta
+}
+
+func (f *etaFile) reset() { f.etas = f.etas[:0] }
+
+func (f *etaFile) len() int { return len(f.etas) }
+
+// push records an update from the FTRAN image w of the entering column at
+// basis position pos. It returns an error if the pivot is too small.
+func (f *etaFile) push(w []float64, pos int, pivTol float64) error {
+	piv := w[pos]
+	if abs(piv) < pivTol {
+		return ErrNumerical
+	}
+	e := eta{pos: pos, pivv: piv}
+	for i, v := range w {
+		if i != pos && abs(v) > 1e-12 {
+			e.idx = append(e.idx, i)
+			e.val = append(e.val, v)
+		}
+	}
+	f.etas = append(f.etas, e)
+	return nil
+}
+
+// ftranApply applies the recorded updates to x after the base LU solve:
+// for each eta in order: x[pos] /= piv; x[i] -= w_i * x[pos].
+func (f *etaFile) ftranApply(x []float64) {
+	for k := range f.etas {
+		e := &f.etas[k]
+		xp := x[e.pos] / e.pivv
+		x[e.pos] = xp
+		if xp != 0 {
+			for t, i := range e.idx {
+				x[i] -= e.val[t] * xp
+			}
+		}
+	}
+}
+
+// btranApply applies the transposed updates in reverse order before the base
+// LU transpose solve: y[pos] = (y[pos] - sum w_i*y_i) / piv.
+func (f *etaFile) btranApply(y []float64) {
+	for k := len(f.etas) - 1; k >= 0; k-- {
+		e := &f.etas[k]
+		s := y[e.pos]
+		for t, i := range e.idx {
+			s -= e.val[t] * y[i]
+		}
+		y[e.pos] = s / e.pivv
+	}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

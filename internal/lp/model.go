@@ -1,0 +1,215 @@
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Inf is the bound value used to express an absent (infinite) bound.
+var Inf = math.Inf(1)
+
+// Sense selects the optimization direction of a Model.
+type Sense int
+
+// Optimization directions.
+const (
+	Minimize Sense = iota + 1
+	Maximize
+)
+
+var (
+	// ErrInfeasible is returned when no feasible point exists.
+	ErrInfeasible = errors.New("lp: problem is infeasible")
+	// ErrUnbounded is returned when the objective is unbounded.
+	ErrUnbounded = errors.New("lp: problem is unbounded")
+	// ErrIterLimit is returned when the simplex hits its iteration cap.
+	ErrIterLimit = errors.New("lp: iteration limit reached")
+	// ErrNumerical is returned when the factorization becomes unusable.
+	ErrNumerical = errors.New("lp: numerical failure")
+)
+
+// Coef is a single (variable, coefficient) entry of a constraint row.
+type Coef struct {
+	Var   int
+	Value float64
+}
+
+// variable holds the builder-side description of one decision variable.
+type variable struct {
+	name string
+	lo   float64
+	hi   float64
+	obj  float64
+}
+
+// constraint holds the builder-side description of one range constraint.
+type constraint struct {
+	name  string
+	coefs []Coef
+	lo    float64
+	hi    float64
+}
+
+// Model accumulates variables and constraints and compiles them into a
+// Problem that the simplex solver consumes. The zero value is not usable;
+// construct models with NewModel.
+type Model struct {
+	sense Sense
+	vars  []variable
+	cons  []constraint
+}
+
+// NewModel returns an empty model with the given optimization sense.
+func NewModel(sense Sense) *Model {
+	return &Model{sense: sense}
+}
+
+// NumVars reports the number of variables added so far.
+func (m *Model) NumVars() int { return len(m.vars) }
+
+// NumConstraints reports the number of constraints added so far.
+func (m *Model) NumConstraints() int { return len(m.cons) }
+
+// AddVar adds a variable with bounds [lo, hi] and objective coefficient obj,
+// returning its index. Use -Inf/Inf for free sides.
+func (m *Model) AddVar(lo, hi, obj float64, name string) int {
+	m.vars = append(m.vars, variable{name: name, lo: lo, hi: hi, obj: obj})
+	return len(m.vars) - 1
+}
+
+// SetObj overwrites the objective coefficient of variable v.
+func (m *Model) SetObj(v int, obj float64) { m.vars[v].obj = obj }
+
+// SetBounds overwrites the bounds of variable v.
+func (m *Model) SetBounds(v int, lo, hi float64) {
+	m.vars[v].lo, m.vars[v].hi = lo, hi
+}
+
+// AddRange adds the constraint lo <= sum(coefs) <= hi and returns its index.
+// The coefficient slice is copied.
+func (m *Model) AddRange(coefs []Coef, lo, hi float64, name string) int {
+	cp := make([]Coef, len(coefs))
+	copy(cp, coefs)
+	m.cons = append(m.cons, constraint{name: name, coefs: cp, lo: lo, hi: hi})
+	return len(m.cons) - 1
+}
+
+// AddLE adds sum(coefs) <= rhs.
+func (m *Model) AddLE(coefs []Coef, rhs float64, name string) int {
+	return m.AddRange(coefs, math.Inf(-1), rhs, name)
+}
+
+// AddGE adds sum(coefs) >= rhs.
+func (m *Model) AddGE(coefs []Coef, rhs float64, name string) int {
+	return m.AddRange(coefs, rhs, Inf, name)
+}
+
+// AddEQ adds sum(coefs) == rhs.
+func (m *Model) AddEQ(coefs []Coef, rhs float64, name string) int {
+	return m.AddRange(coefs, rhs, rhs, name)
+}
+
+// Problem is the compiled, solver-ready form of a Model.
+//
+// The internal standard form appends one slack variable per row so that the
+// constraint system becomes A*x - s = 0 with s ranging over the original
+// [lo, hi] of each row. Columns 0..NumStruct-1 are the structural variables
+// in insertion order; columns NumStruct..NumStruct+NumRows-1 are slacks.
+type Problem struct {
+	sense     Sense
+	numStruct int
+	numRows   int
+
+	// Column-compressed structural+slack matrix.
+	cols *CSC
+
+	// Per-column bounds and objective (slacks have zero objective).
+	lo  []float64
+	hi  []float64
+	obj []float64
+
+	varNames []string
+	conNames []string
+}
+
+// Compile validates the model and produces a Problem.
+func (m *Model) Compile() (*Problem, error) {
+	if m.sense != Minimize && m.sense != Maximize {
+		return nil, errors.New("lp: model has no optimization sense")
+	}
+	n := len(m.vars)
+	r := len(m.cons)
+	total := n + r
+	p := &Problem{
+		sense:     m.sense,
+		numStruct: n,
+		numRows:   r,
+		lo:        make([]float64, total),
+		hi:        make([]float64, total),
+		obj:       make([]float64, total),
+		varNames:  make([]string, n),
+		conNames:  make([]string, r),
+	}
+	for j, v := range m.vars {
+		if v.lo > v.hi {
+			return nil, fmt.Errorf("lp: variable %d (%s): lower bound %g > upper bound %g", j, v.name, v.lo, v.hi)
+		}
+		p.lo[j], p.hi[j] = v.lo, v.hi
+		sign := 1.0
+		if m.sense == Maximize {
+			sign = -1.0
+		}
+		p.obj[j] = sign * v.obj
+		p.varNames[j] = v.name
+	}
+
+	tb := NewTripletBuilder(r, total)
+	for i, c := range m.cons {
+		if c.lo > c.hi {
+			return nil, fmt.Errorf("lp: constraint %d (%s): lower bound %g > upper bound %g", i, c.name, c.lo, c.hi)
+		}
+		p.conNames[i] = c.name
+		seen := make(map[int]bool, len(c.coefs))
+		for _, cf := range c.coefs {
+			if cf.Var < 0 || cf.Var >= n {
+				return nil, fmt.Errorf("lp: constraint %d (%s): variable index %d out of range", i, c.name, cf.Var)
+			}
+			if seen[cf.Var] {
+				return nil, fmt.Errorf("lp: constraint %d (%s): duplicate variable %d", i, c.name, cf.Var)
+			}
+			seen[cf.Var] = true
+			if cf.Value != 0 {
+				tb.Add(i, cf.Var, cf.Value)
+			}
+		}
+		// Slack column: A*x - s = 0, s in [lo, hi].
+		tb.Add(i, n+i, -1)
+		p.lo[n+i], p.hi[n+i] = c.lo, c.hi
+	}
+	p.cols = tb.ToCSC()
+	return p, nil
+}
+
+// NumStruct reports the number of structural (user) variables.
+func (p *Problem) NumStruct() int { return p.numStruct }
+
+// NumRows reports the number of constraint rows.
+func (p *Problem) NumRows() int { return p.numRows }
+
+// Solution holds the result of a successful solve.
+type Solution struct {
+	// Objective is the optimal objective in the user's original sense.
+	Objective float64
+	// X holds the values of the structural variables.
+	X []float64
+	// Duals holds one dual multiplier per constraint row (sign convention:
+	// for a Minimize model, Duals[i] is the rate of change of the optimal
+	// objective per unit increase of the row's bounds).
+	Duals []float64
+	// Iterations is the total simplex iteration count across both phases.
+	Iterations int
+}
+
+// Value returns the solution value of structural variable v.
+func (s *Solution) Value(v int) float64 { return s.X[v] }

@@ -1,0 +1,325 @@
+package lp
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// This file implements fixed-form-free MPS I/O. MPS is the lingua franca
+// of LP solvers; exporting a Model lets a user cross-check any bound
+// produced by this package against an external solver (the role CPLEX
+// plays in the paper), and importing lets the simplex be exercised on
+// standard test problems.
+
+// WriteMPS serializes the model in free MPS format. Variables and
+// constraints are named x0..xN / c0..cM unless they carry names.
+func (m *Model) WriteMPS(w io.Writer, name string) error {
+	bw := bufio.NewWriter(w)
+	if name == "" {
+		name = "MODEL"
+	}
+	fmt.Fprintf(bw, "NAME %s\n", name)
+	fmt.Fprintln(bw, "ROWS")
+	fmt.Fprintln(bw, " N OBJ")
+	rowName := func(i int) string {
+		if m.cons[i].name != "" {
+			return m.cons[i].name
+		}
+		return "c" + strconv.Itoa(i)
+	}
+	colName := func(j int) string {
+		if m.vars[j].name != "" {
+			return m.vars[j].name
+		}
+		return "x" + strconv.Itoa(j)
+	}
+	for i, c := range m.cons {
+		kind := "E"
+		switch {
+		case math.IsInf(c.lo, -1) && math.IsInf(c.hi, 1):
+			kind = "N"
+		case math.IsInf(c.lo, -1):
+			kind = "L"
+		case math.IsInf(c.hi, 1):
+			kind = "G"
+		case c.lo != c.hi:
+			kind = "L" // range rows emit L plus a RANGES entry
+		}
+		fmt.Fprintf(bw, " %s %s\n", kind, rowName(i))
+	}
+	fmt.Fprintln(bw, "COLUMNS")
+	// Column-major scan: collect per-variable entries.
+	type entry struct {
+		row int
+		val float64
+	}
+	cols := make([][]entry, len(m.vars))
+	for i, c := range m.cons {
+		for _, cf := range c.coefs {
+			if cf.Value != 0 {
+				cols[cf.Var] = append(cols[cf.Var], entry{row: i, val: cf.Value})
+			}
+		}
+	}
+	sign := 1.0
+	if m.sense == Maximize {
+		sign = -1.0 // MPS objectives minimize by convention
+	}
+	for j, v := range m.vars {
+		if v.obj != 0 {
+			fmt.Fprintf(bw, " %s OBJ %.17g\n", colName(j), sign*v.obj)
+		}
+		for _, e := range cols[j] {
+			fmt.Fprintf(bw, " %s %s %.17g\n", colName(j), rowName(e.row), e.val)
+		}
+	}
+	fmt.Fprintln(bw, "RHS")
+	for i, c := range m.cons {
+		rhs := c.hi
+		if math.IsInf(c.hi, 1) {
+			rhs = c.lo
+		}
+		if !math.IsInf(rhs, 0) && rhs != 0 {
+			fmt.Fprintf(bw, " RHS %s %.17g\n", rowName(i), rhs)
+		}
+	}
+	wroteRanges := false
+	for i, c := range m.cons {
+		if !math.IsInf(c.lo, -1) && !math.IsInf(c.hi, 1) && c.lo != c.hi {
+			if !wroteRanges {
+				fmt.Fprintln(bw, "RANGES")
+				wroteRanges = true
+			}
+			fmt.Fprintf(bw, " RNG %s %.17g\n", rowName(i), c.hi-c.lo)
+		}
+	}
+	fmt.Fprintln(bw, "BOUNDS")
+	for j, v := range m.vars {
+		switch {
+		case v.lo == 0 && math.IsInf(v.hi, 1):
+			// default bounds: nothing to write
+		case math.IsInf(v.lo, -1) && math.IsInf(v.hi, 1):
+			fmt.Fprintf(bw, " FR BND %s\n", colName(j))
+		case v.lo == v.hi:
+			fmt.Fprintf(bw, " FX BND %s %.17g\n", colName(j), v.lo)
+		default:
+			if !math.IsInf(v.lo, -1) && v.lo != 0 {
+				fmt.Fprintf(bw, " LO BND %s %.17g\n", colName(j), v.lo)
+			} else if math.IsInf(v.lo, -1) {
+				fmt.Fprintf(bw, " MI BND %s\n", colName(j))
+			}
+			if !math.IsInf(v.hi, 1) {
+				fmt.Fprintf(bw, " UP BND %s %.17g\n", colName(j), v.hi)
+			}
+		}
+	}
+	fmt.Fprintln(bw, "ENDATA")
+	return bw.Flush()
+}
+
+// ReadMPS parses a free-form MPS file into a Model (always Minimize, per
+// MPS convention). Integer markers are ignored (the relaxation is read).
+func ReadMPS(r io.Reader) (*Model, error) {
+	m := NewModel(Minimize)
+	type rowInfo struct {
+		kind byte // N, L, G, E
+		idx  int  // constraint index, -1 for the objective
+	}
+	rows := map[string]rowInfo{}
+	vars := map[string]int{}
+	var objRow string
+
+	// Constraint data accumulated before building the model.
+	type consData struct {
+		kind  byte
+		coefs []Coef
+		rhs   float64
+		rng   float64
+		hasR  bool
+		name  string
+	}
+	var cons []consData
+	consIdx := map[string]int{}
+
+	getVar := func(name string) int {
+		if j, ok := vars[name]; ok {
+			return j
+		}
+		j := m.AddVar(0, Inf, 0, name)
+		vars[name] = j
+		return j
+	}
+
+	section := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" || strings.HasPrefix(trimmed, "*") {
+			continue
+		}
+		if !strings.HasPrefix(line, " ") && !strings.HasPrefix(line, "\t") {
+			fields := strings.Fields(trimmed)
+			section = strings.ToUpper(fields[0])
+			if section == "ENDATA" {
+				break
+			}
+			continue
+		}
+		f := strings.Fields(trimmed)
+		switch section {
+		case "ROWS":
+			if len(f) != 2 {
+				return nil, fmt.Errorf("lp: mps line %d: bad ROWS entry", lineNo)
+			}
+			kind := byte(strings.ToUpper(f[0])[0])
+			if kind == 'N' {
+				if objRow == "" {
+					objRow = f[1]
+					rows[f[1]] = rowInfo{kind: 'N', idx: -1}
+				}
+				continue
+			}
+			ci := len(cons)
+			cons = append(cons, consData{kind: kind, name: f[1]})
+			consIdx[f[1]] = ci
+			rows[f[1]] = rowInfo{kind: kind, idx: ci}
+		case "COLUMNS":
+			if len(f) == 3 && strings.EqualFold(f[1], "'MARKER'") {
+				continue // INTORG/INTEND markers: read the relaxation
+			}
+			if len(f) != 3 && len(f) != 5 {
+				return nil, fmt.Errorf("lp: mps line %d: bad COLUMNS entry", lineNo)
+			}
+			j := getVar(f[0])
+			for p := 1; p+1 < len(f); p += 2 {
+				val, err := strconv.ParseFloat(f[p+1], 64)
+				if err != nil {
+					return nil, fmt.Errorf("lp: mps line %d: %w", lineNo, err)
+				}
+				ri, ok := rows[f[p]]
+				if !ok {
+					return nil, fmt.Errorf("lp: mps line %d: unknown row %q", lineNo, f[p])
+				}
+				if ri.idx < 0 {
+					m.SetObj(j, val)
+				} else {
+					cons[ri.idx].coefs = append(cons[ri.idx].coefs, Coef{Var: j, Value: val})
+				}
+			}
+		case "RHS":
+			if len(f) < 3 {
+				return nil, fmt.Errorf("lp: mps line %d: bad RHS entry", lineNo)
+			}
+			for p := 1; p+1 < len(f); p += 2 {
+				val, err := strconv.ParseFloat(f[p+1], 64)
+				if err != nil {
+					return nil, fmt.Errorf("lp: mps line %d: %w", lineNo, err)
+				}
+				ri, ok := rows[f[p]]
+				if !ok || ri.idx < 0 {
+					continue // objective-row RHS (constant) ignored
+				}
+				cons[ri.idx].rhs = val
+			}
+		case "RANGES":
+			if len(f) < 3 {
+				return nil, fmt.Errorf("lp: mps line %d: bad RANGES entry", lineNo)
+			}
+			for p := 1; p+1 < len(f); p += 2 {
+				val, err := strconv.ParseFloat(f[p+1], 64)
+				if err != nil {
+					return nil, fmt.Errorf("lp: mps line %d: %w", lineNo, err)
+				}
+				ri, ok := rows[f[p]]
+				if !ok || ri.idx < 0 {
+					return nil, fmt.Errorf("lp: mps line %d: unknown range row %q", lineNo, f[p])
+				}
+				cons[ri.idx].rng = val
+				cons[ri.idx].hasR = true
+			}
+		case "BOUNDS":
+			if len(f) < 3 {
+				return nil, fmt.Errorf("lp: mps line %d: bad BOUNDS entry", lineNo)
+			}
+			kind := strings.ToUpper(f[0])
+			j := getVar(f[2])
+			var val float64
+			if len(f) >= 4 {
+				v, err := strconv.ParseFloat(f[3], 64)
+				if err != nil {
+					return nil, fmt.Errorf("lp: mps line %d: %w", lineNo, err)
+				}
+				val = v
+			}
+			lo, hi := m.vars[j].lo, m.vars[j].hi
+			switch kind {
+			case "LO":
+				lo = val
+			case "UP":
+				hi = val
+				if val < 0 && lo == 0 {
+					lo = math.Inf(-1) // MPS convention for negative UP
+				}
+			case "FX":
+				lo, hi = val, val
+			case "FR":
+				lo, hi = math.Inf(-1), Inf
+			case "MI":
+				lo = math.Inf(-1)
+			case "PL":
+				hi = Inf
+			case "BV":
+				lo, hi = 0, 1 // binary: relaxation
+			default:
+				return nil, fmt.Errorf("lp: mps line %d: unsupported bound kind %q", lineNo, kind)
+			}
+			m.SetBounds(j, lo, hi)
+		case "OBJSENSE":
+			if strings.EqualFold(f[0], "MAX") || strings.EqualFold(f[0], "MAXIMIZE") {
+				m.sense = Maximize
+			}
+		default:
+			return nil, fmt.Errorf("lp: mps line %d: data outside a known section (%q)", lineNo, section)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	// Materialize constraints.
+	for _, c := range cons {
+		var lo, hi float64
+		switch c.kind {
+		case 'L':
+			lo, hi = math.Inf(-1), c.rhs
+			if c.hasR {
+				lo = c.rhs - math.Abs(c.rng)
+			}
+		case 'G':
+			lo, hi = c.rhs, Inf
+			if c.hasR {
+				hi = c.rhs + math.Abs(c.rng)
+			}
+		case 'E':
+			lo, hi = c.rhs, c.rhs
+			if c.hasR {
+				if c.rng >= 0 {
+					hi = c.rhs + c.rng
+				} else {
+					lo = c.rhs + c.rng
+				}
+			}
+		default:
+			return nil, fmt.Errorf("lp: mps: unsupported row kind %q", string(c.kind))
+		}
+		m.AddRange(c.coefs, lo, hi, c.name)
+	}
+	return m, nil
+}

@@ -1,0 +1,136 @@
+package lp
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// roundTripObjective writes a model to MPS, reads it back, solves both and
+// compares optima.
+func roundTripObjective(t *testing.T, m *Model) {
+	t.Helper()
+	want, err := SolveModel(m, Options{})
+	if err != nil {
+		t.Fatalf("solve original: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := m.WriteMPS(&buf, "t"); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	m2, err := ReadMPS(&buf)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	got, err := SolveModel(m2, Options{})
+	if err != nil {
+		t.Fatalf("solve round-trip: %v", err)
+	}
+	// MPS is always minimize; a Maximize original compares negated.
+	wantObj := want.Objective
+	if m.sense == Maximize {
+		wantObj = -wantObj
+	}
+	if math.Abs(got.Objective-wantObj) > 1e-6*math.Max(1, math.Abs(wantObj)) {
+		t.Errorf("objective after round-trip = %g, want %g", got.Objective, wantObj)
+	}
+}
+
+func TestMPSRoundTripSimple(t *testing.T) {
+	m := NewModel(Maximize)
+	x := m.AddVar(0, Inf, 3, "x")
+	y := m.AddVar(0, Inf, 5, "y")
+	m.AddLE([]Coef{{x, 1}}, 4, "c1")
+	m.AddLE([]Coef{{y, 2}}, 12, "c2")
+	m.AddLE([]Coef{{x, 3}, {y, 2}}, 18, "c3")
+	roundTripObjective(t, m)
+}
+
+func TestMPSRoundTripBoundsAndRanges(t *testing.T) {
+	m := NewModel(Minimize)
+	a := m.AddVar(-2, 5, 1, "a")
+	b := m.AddVar(math.Inf(-1), Inf, 2, "b") // free
+	c := m.AddVar(3, 3, -1, "c")             // fixed
+	d := m.AddVar(math.Inf(-1), 4, 0.5, "d") // MI + UP
+	m.AddRange([]Coef{{a, 1}, {b, 1}}, 1, 6, "rng")
+	m.AddEQ([]Coef{{c, 1}, {d, 2}}, 7, "eq")
+	m.AddGE([]Coef{{a, 2}, {d, -1}}, -3, "ge")
+	roundTripObjective(t, m)
+}
+
+func TestMPSRoundTripRandom(t *testing.T) {
+	for seed := uint64(300); seed < 315; seed++ {
+		rng := newTestRand(seed)
+		m := randLP(rng, 8+rng.intn(15), 6+rng.intn(15))
+		roundTripObjective(t, m)
+	}
+}
+
+func TestReadMPSKnownProblem(t *testing.T) {
+	// AFIRO-style toy written by hand:
+	// min -x - 2y s.t. x + y <= 4, x - y >= -2, 0<=x, 0<=y<=3.
+	// Optimum: y=3, x=1 -> -7.
+	src := `* comment
+NAME TOY
+ROWS
+ N COST
+ L LIM1
+ G LIM2
+COLUMNS
+ X COST -1 LIM1 1
+ X LIM2 1
+ Y COST -2 LIM1 1
+ Y LIM2 -1
+RHS
+ RHS LIM1 4 LIM2 -2
+BOUNDS
+ UP BND Y 3
+ENDATA
+`
+	m, err := ReadMPS(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := SolveModel(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.Objective-(-7)) > 1e-6 {
+		t.Errorf("objective = %g, want -7", sol.Objective)
+	}
+}
+
+func TestReadMPSErrors(t *testing.T) {
+	cases := []string{
+		"ROWS\n L c1\nCOLUMNS\n x nosuchrow 1\nENDATA\n",
+		"ROWS\n L c1\nCOLUMNS\n x c1 notanumber\nENDATA\n",
+		"ROWS\n Z c1\nENDATA\n",
+		"COLUMNS\n x c1 1\nENDATA\n", // data before ROWS: unknown row
+	}
+	for i, src := range cases {
+		m, err := ReadMPS(strings.NewReader(src))
+		if err == nil {
+			// Some malformed inputs surface at Compile instead.
+			if _, cerr := m.Compile(); cerr == nil {
+				t.Errorf("case %d: malformed MPS accepted", i)
+			}
+		}
+	}
+}
+
+func TestWriteMPSMentionsSections(t *testing.T) {
+	m := NewModel(Minimize)
+	x := m.AddVar(0, 1, 1, "x")
+	m.AddRange([]Coef{{x, 1}}, 0.2, 0.8, "r")
+	var buf bytes.Buffer
+	if err := m.WriteMPS(&buf, "demo"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"NAME demo", "ROWS", "COLUMNS", "RHS", "RANGES", "BOUNDS", "ENDATA"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("MPS output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,550 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Options configures the simplex solver.
+type Options struct {
+	// Tol is the primal feasibility / dual optimality tolerance.
+	Tol float64
+	// PivTol is the minimum acceptable pivot magnitude.
+	PivTol float64
+	// MaxIter caps the total iteration count (0 = automatic).
+	MaxIter int
+	// BlandAfter is the number of consecutive degenerate iterations after
+	// which the solver switches to Bland's rule (0 = automatic).
+	BlandAfter int
+	// DenseLimit is the basis size up to which the dense factorization is
+	// used when Factorizer is nil (0 = automatic).
+	DenseLimit int
+	// Factorizer overrides the automatic factorization choice.
+	Factorizer Factorizer
+	// SectionSize is the number of columns scanned per iteration by the
+	// partial-pricing rule (0 = automatic; negative = full Dantzig
+	// pricing). Partial pricing scans a rotating window and picks the best
+	// eligible column in it, falling back to a full sweep before declaring
+	// optimality.
+	SectionSize int
+}
+
+func (o Options) withDefaults(m, n int) Options {
+	if o.Tol == 0 {
+		o.Tol = 1e-7
+	}
+	if o.PivTol == 0 {
+		o.PivTol = 1e-9
+	}
+	if o.MaxIter == 0 {
+		o.MaxIter = 20000 + 100*(m+n)
+	}
+	if o.BlandAfter == 0 {
+		o.BlandAfter = 1000
+	}
+	if o.DenseLimit == 0 {
+		o.DenseLimit = 600
+	}
+	if o.SectionSize == 0 {
+		o.SectionSize = 2000
+		if n < 4*o.SectionSize {
+			o.SectionSize = -1 // small problems: full pricing
+		}
+	}
+	return o
+}
+
+// Solve compiles nothing; it solves an already compiled Problem.
+func Solve(p *Problem, opts Options) (*Solution, error) {
+	s := newSimplex(p, opts)
+	return s.solve()
+}
+
+// SolveModel compiles and solves a Model.
+func SolveModel(m *Model, opts Options) (*Solution, error) {
+	p, err := m.Compile()
+	if err != nil {
+		return nil, err
+	}
+	return Solve(p, opts)
+}
+
+// Column status markers.
+type colStatus uint8
+
+const (
+	nonbasicLower colStatus = iota
+	nonbasicUpper
+	nonbasicFree
+	basic
+)
+
+type simplex struct {
+	p    *Problem
+	opts Options
+	m, n int // rows, total columns (struct + slack)
+
+	fac    Factorizer
+	status []colStatus
+	basis  []int     // column basic in each row position
+	x      []float64 // current value of every column
+	xB     []float64 // values of basic columns (mirror of x at basis positions)
+
+	cB   []float64 // basic cost vector for the current phase
+	y    []float64 // duals scratch
+	w    []float64 // FTRAN image of the entering column
+	rhs0 []float64 // scratch for -N*xN
+
+	iter       int
+	degenerate int
+	bland      bool
+	priceStart int
+}
+
+func newSimplex(p *Problem, opts Options) *simplex {
+	m := p.numRows
+	n := p.numStruct + p.numRows
+	opts = opts.withDefaults(m, n)
+	s := &simplex{
+		p: p, opts: opts, m: m, n: n,
+		status: make([]colStatus, n),
+		basis:  make([]int, m),
+		x:      make([]float64, n),
+		xB:     make([]float64, m),
+		cB:     make([]float64, m),
+		y:      make([]float64, m),
+		w:      make([]float64, m),
+		rhs0:   make([]float64, m),
+	}
+	if opts.Factorizer != nil {
+		s.fac = opts.Factorizer
+	} else if m <= opts.DenseLimit {
+		s.fac = NewDenseFactor(0)
+	} else {
+		s.fac = NewSparseFactor(0)
+	}
+	return s
+}
+
+func (s *simplex) solve() (*Solution, error) {
+	if s.m == 0 {
+		return s.solveUnconstrained()
+	}
+	// Start from the all-slack basis; structural variables at a bound.
+	for j := 0; j < s.n; j++ {
+		s.status[j] = s.startStatus(j)
+		s.x[j] = s.startValue(j)
+	}
+	for i := 0; i < s.m; i++ {
+		q := s.p.numStruct + i
+		s.basis[i] = q
+		s.status[q] = basic
+	}
+	if err := s.fac.Factor(s.p.cols, s.basis); err != nil {
+		return nil, err
+	}
+	s.recomputeXB()
+
+	// Phase 1: drive infeasibility to zero.
+	if s.infeasibility() > s.opts.Tol {
+		if err := s.loop(true); err != nil {
+			return nil, err
+		}
+		if s.infeasibility() > s.opts.Tol*math.Max(1, s.scale()) {
+			return nil, ErrInfeasible
+		}
+	}
+	// Phase 2: optimize the true objective.
+	if err := s.loop(false); err != nil {
+		return nil, err
+	}
+	return s.buildSolution(), nil
+}
+
+// solveUnconstrained handles the degenerate m == 0 case.
+func (s *simplex) solveUnconstrained() (*Solution, error) {
+	sol := &Solution{X: make([]float64, s.p.numStruct)}
+	obj := 0.0
+	for j := 0; j < s.p.numStruct; j++ {
+		c := s.p.obj[j]
+		switch {
+		case c > 0:
+			if math.IsInf(s.p.lo[j], -1) {
+				return nil, ErrUnbounded
+			}
+			sol.X[j] = s.p.lo[j]
+		case c < 0:
+			if math.IsInf(s.p.hi[j], 1) {
+				return nil, ErrUnbounded
+			}
+			sol.X[j] = s.p.hi[j]
+		default:
+			sol.X[j] = s.startValue(j)
+		}
+		obj += c * sol.X[j]
+	}
+	if s.p.sense == Maximize {
+		obj = -obj
+	}
+	sol.Objective = obj
+	return sol, nil
+}
+
+func (s *simplex) startStatus(j int) colStatus {
+	lo, hi := s.p.lo[j], s.p.hi[j]
+	switch {
+	case math.IsInf(lo, -1) && math.IsInf(hi, 1):
+		return nonbasicFree
+	case math.IsInf(lo, -1):
+		return nonbasicUpper
+	default:
+		// Prefer the bound closer to zero for finite ranges.
+		if !math.IsInf(hi, 1) && abs(hi) < abs(lo) {
+			return nonbasicUpper
+		}
+		return nonbasicLower
+	}
+}
+
+func (s *simplex) startValue(j int) float64 {
+	switch s.startStatus(j) {
+	case nonbasicLower:
+		return s.p.lo[j]
+	case nonbasicUpper:
+		return s.p.hi[j]
+	default:
+		return 0
+	}
+}
+
+// recomputeXB solves B*xB = -N*xN from scratch.
+func (s *simplex) recomputeXB() {
+	for i := range s.rhs0 {
+		s.rhs0[i] = 0
+	}
+	for j := 0; j < s.n; j++ {
+		if s.status[j] == basic || s.x[j] == 0 {
+			continue
+		}
+		xj := s.x[j]
+		ri, rv := s.p.cols.Col(j)
+		for k, r := range ri {
+			s.rhs0[r] -= rv[k] * xj
+		}
+	}
+	s.fac.Ftran(s.rhs0)
+	copy(s.xB, s.rhs0)
+	for i, q := range s.basis {
+		s.x[q] = s.xB[i]
+	}
+}
+
+// infeasibility returns the total bound violation of the basic variables.
+func (s *simplex) infeasibility() float64 {
+	sum := 0.0
+	for i, q := range s.basis {
+		v := s.xB[i]
+		if lo := s.p.lo[q]; v < lo {
+			sum += lo - v
+		} else if hi := s.p.hi[q]; v > hi {
+			sum += v - hi
+		}
+	}
+	return sum
+}
+
+// scale returns a magnitude estimate used to relativize tolerances.
+func (s *simplex) scale() float64 {
+	mx := 1.0
+	for i := range s.xB {
+		if a := abs(s.xB[i]); a > mx {
+			mx = a
+		}
+	}
+	return mx
+}
+
+// phase1Costs fills cB with the gradient of the infeasibility sum.
+func (s *simplex) phase1Costs() {
+	tol := s.opts.Tol
+	for i, q := range s.basis {
+		v := s.xB[i]
+		switch {
+		case v < s.p.lo[q]-tol:
+			s.cB[i] = -1
+		case v > s.p.hi[q]+tol:
+			s.cB[i] = 1
+		default:
+			s.cB[i] = 0
+		}
+	}
+}
+
+func (s *simplex) phase2Costs() {
+	for i, q := range s.basis {
+		s.cB[i] = s.p.obj[q]
+	}
+}
+
+// reducedCost computes d_j = c_j - y . A_j for column j given duals in s.y.
+func (s *simplex) reducedCost(j int, phase1 bool) float64 {
+	c := 0.0
+	if !phase1 {
+		c = s.p.obj[j]
+	}
+	ri, rv := s.p.cols.Col(j)
+	for k, r := range ri {
+		c -= s.y[r] * rv[k]
+	}
+	return c
+}
+
+// score rates column j as an entering candidate; score <= tol means not
+// eligible. dir is the movement direction of the entering variable.
+func (s *simplex) score(j int, phase1 bool) (score, dir float64) {
+	st := s.status[j]
+	if st == basic {
+		return 0, 0
+	}
+	d := s.reducedCost(j, phase1)
+	switch st {
+	case nonbasicLower:
+		return -d, 1
+	case nonbasicUpper:
+		return d, -1
+	default: // nonbasicFree
+		if d < 0 {
+			return -d, 1
+		}
+		return d, -1
+	}
+}
+
+// price selects the entering column, returning (-1, 0) at optimality. With
+// partial pricing it scans a rotating window of SectionSize columns and
+// returns the best eligible column of the first non-empty window; Bland's
+// rule and small problems use a full sweep.
+func (s *simplex) price(phase1 bool) (entering int, dir float64) {
+	tol := s.opts.Tol
+	if s.bland {
+		for j := 0; j < s.n; j++ {
+			if sc, dj := s.score(j, phase1); sc > tol {
+				return j, dj
+			}
+		}
+		return -1, 0
+	}
+	section := s.opts.SectionSize
+	if section < 0 {
+		section = s.n
+	}
+	bestJ, bestScore, bestDir := -1, tol, 0.0
+	scanned := 0
+	j := s.priceStart % s.n
+	for scanned < s.n {
+		if sc, dj := s.score(j, phase1); sc > bestScore {
+			bestJ, bestScore, bestDir = j, sc, dj
+		}
+		scanned++
+		j++
+		if j == s.n {
+			j = 0
+		}
+		if scanned%section == 0 && bestJ >= 0 {
+			break
+		}
+	}
+	if bestJ >= 0 {
+		s.priceStart = j
+	}
+	return bestJ, bestDir
+}
+
+// ratioEvent describes a blocking event of the ratio test.
+type ratioEvent struct {
+	t      float64
+	pos    int     // basis position (-1 = entering variable's own bound)
+	atHi   bool    // leaving variable leaves at its upper bound
+	pivMag float64 // |w[pos]|, used for stability tie-breaking
+}
+
+// ratioTest scans the FTRAN image w for the first blocking event when the
+// entering variable q moves in direction dir.
+func (s *simplex) ratioTest(q int, dir float64, phase1 bool) (ratioEvent, bool) {
+	tol := s.opts.Tol
+	piv := s.opts.PivTol
+	best := ratioEvent{t: math.Inf(1), pos: -1}
+	// Entering variable's own opposite bound (bound flip).
+	if rng := s.p.hi[q] - s.p.lo[q]; !math.IsInf(rng, 1) {
+		best = ratioEvent{t: rng, pos: -1}
+	}
+	for i := range s.w {
+		wi := s.w[i]
+		if abs(wi) <= piv {
+			continue
+		}
+		rate := -dir * wi // movement rate of basic i
+		qi := s.basis[i]
+		lo, hi := s.p.lo[qi], s.p.hi[qi]
+		v := s.xB[i]
+		var limit float64
+		var atHi bool
+		switch {
+		case phase1 && v < lo-tol:
+			// Infeasible below: blocks only when moving up to lo.
+			if rate <= 0 {
+				continue
+			}
+			limit, atHi = (lo-v)/rate, false
+		case phase1 && v > hi+tol:
+			if rate >= 0 {
+				continue
+			}
+			limit, atHi = (hi-v)/rate, true
+		case rate > 0:
+			if math.IsInf(hi, 1) {
+				continue
+			}
+			limit, atHi = (hi-v)/rate, true
+		default: // rate < 0
+			if math.IsInf(lo, -1) {
+				continue
+			}
+			limit, atHi = (lo-v)/rate, false
+		}
+		if limit < 0 {
+			limit = 0
+		}
+		if limit < best.t-tol ||
+			(limit < best.t+tol && abs(wi) > best.pivMag) {
+			best = ratioEvent{t: limit, pos: i, atHi: atHi, pivMag: abs(wi)}
+		}
+	}
+	if math.IsInf(best.t, 1) {
+		return best, false
+	}
+	return best, true
+}
+
+// loop runs simplex iterations for one phase.
+func (s *simplex) loop(phase1 bool) error {
+	for {
+		if s.iter >= s.opts.MaxIter {
+			return fmt.Errorf("%w after %d iterations", ErrIterLimit, s.iter)
+		}
+		if phase1 && s.infeasibility() <= s.opts.Tol {
+			return nil
+		}
+		if phase1 {
+			s.phase1Costs()
+		} else {
+			s.phase2Costs()
+		}
+		copy(s.y, s.cB)
+		s.fac.Btran(s.y)
+		q, dir := s.price(phase1)
+		if q < 0 {
+			return nil // optimal for this phase
+		}
+		// FTRAN the entering column.
+		for i := range s.w {
+			s.w[i] = 0
+		}
+		ri, rv := s.p.cols.Col(q)
+		for k, r := range ri {
+			s.w[r] = rv[k]
+		}
+		s.fac.Ftran(s.w)
+
+		ev, ok := s.ratioTest(q, dir, phase1)
+		if !ok {
+			if phase1 {
+				return fmt.Errorf("%w: unbounded phase-1 direction", ErrNumerical)
+			}
+			return ErrUnbounded
+		}
+		s.iter++
+		if ev.t <= s.opts.Tol {
+			s.degenerate++
+			if s.degenerate >= s.opts.BlandAfter {
+				s.bland = true
+			}
+		} else {
+			s.degenerate = 0
+			s.bland = false
+		}
+		// Move the entering variable and update basics.
+		step := dir * ev.t
+		for i := range s.xB {
+			if s.w[i] != 0 {
+				s.xB[i] -= step * s.w[i]
+				s.x[s.basis[i]] = s.xB[i]
+			}
+		}
+		if ev.pos < 0 {
+			// Bound flip: the entering variable jumps to its other bound.
+			if s.status[q] == nonbasicLower {
+				s.status[q] = nonbasicUpper
+				s.x[q] = s.p.hi[q]
+			} else {
+				s.status[q] = nonbasicLower
+				s.x[q] = s.p.lo[q]
+			}
+			continue
+		}
+		// Pivot: q enters at basis position ev.pos; the old basic leaves.
+		leave := s.basis[ev.pos]
+		if ev.atHi {
+			s.status[leave] = nonbasicUpper
+			s.x[leave] = s.p.hi[leave]
+		} else {
+			s.status[leave] = nonbasicLower
+			s.x[leave] = s.p.lo[leave]
+		}
+		s.x[q] += step
+		s.xB[ev.pos] = s.x[q]
+		s.basis[ev.pos] = q
+		s.status[q] = basic
+
+		refactor, err := s.fac.Update(s.w, ev.pos)
+		if err != nil {
+			refactor = true
+		}
+		if refactor {
+			if err := s.fac.Factor(s.p.cols, s.basis); err != nil {
+				return err
+			}
+			s.recomputeXB()
+		}
+	}
+}
+
+func (s *simplex) buildSolution() *Solution {
+	sol := &Solution{
+		X:          make([]float64, s.p.numStruct),
+		Duals:      make([]float64, s.m),
+		Iterations: s.iter,
+	}
+	obj := 0.0
+	for j := 0; j < s.p.numStruct; j++ {
+		sol.X[j] = s.x[j]
+		obj += s.p.obj[j] * s.x[j]
+	}
+	if s.p.sense == Maximize {
+		obj = -obj
+	}
+	sol.Objective = obj
+	// Duals from the final basis: y = B^-T cB with phase-2 costs. Our slack
+	// columns carry coefficient -1, so the conventional row dual is -y.
+	s.phase2Costs()
+	copy(s.y, s.cB)
+	s.fac.Btran(s.y)
+	for i := 0; i < s.m; i++ {
+		d := s.y[i]
+		if s.p.sense == Maximize {
+			d = -d
+		}
+		sol.Duals[i] = d
+	}
+	return sol
+}

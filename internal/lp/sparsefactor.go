@@ -1,0 +1,57 @@
+package lp
+
+// SparseFactor is the sparse-LU basis factorization backend with
+// product-form eta updates. It is the default for bases beyond
+// Options.DenseLimit rows.
+type SparseFactor struct {
+	lu      *sparseLU
+	tmp     []float64
+	etas    etaFile
+	maxEtas int
+	pivTol  float64
+}
+
+var _ Factorizer = (*SparseFactor)(nil)
+
+// NewSparseFactor returns a sparse factorization backend. maxEtas bounds the
+// eta file length before a refactorization is requested (0 means a default).
+func NewSparseFactor(maxEtas int) *SparseFactor {
+	if maxEtas <= 0 {
+		maxEtas = 100
+	}
+	return &SparseFactor{maxEtas: maxEtas, pivTol: 1e-11}
+}
+
+// Factor implements Factorizer.
+func (s *SparseFactor) Factor(a *CSC, basis []int) error {
+	lu, err := luFactor(a, basis, s.pivTol)
+	if err != nil {
+		return err
+	}
+	s.lu = lu
+	if len(s.tmp) < len(basis) {
+		s.tmp = make([]float64, len(basis))
+	}
+	s.etas.reset()
+	return nil
+}
+
+// Ftran implements Factorizer.
+func (s *SparseFactor) Ftran(b []float64) {
+	s.lu.solve(b, s.tmp[:s.lu.m])
+	s.etas.ftranApply(b)
+}
+
+// Btran implements Factorizer.
+func (s *SparseFactor) Btran(c []float64) {
+	s.etas.btranApply(c)
+	s.lu.solveT(c, s.tmp[:s.lu.m])
+}
+
+// Update implements Factorizer.
+func (s *SparseFactor) Update(w []float64, pos int) (bool, error) {
+	if err := s.etas.push(w, pos, s.pivTol); err != nil {
+		return true, err
+	}
+	return s.etas.len() >= s.maxEtas, nil
+}

@@ -1,0 +1,298 @@
+package lp
+
+import "fmt"
+
+// sparseLU holds an LU factorization of a square sparse matrix computed with
+// the left-looking Gilbert-Peierls algorithm and partial pivoting:
+// P*B[:,q] = L*U with unit lower-triangular L (diagonal stored first in each
+// column) and upper-triangular U (diagonal stored last in each column).
+type sparseLU struct {
+	m int
+
+	lp []int // L column pointers
+	li []int // L row indices (in pivoted coordinates after finalize)
+	lx []float64
+	up []int // U column pointers
+	ui []int
+	ux []float64
+
+	pinv []int // row i of B -> pivot position pinv[i]
+	q    []int // column preorder: factor column k is B column q[k]
+	qinv []int
+
+	// scratch
+	x     []float64
+	xi    []int
+	stack []int
+	pstk  []int
+	flags []int32
+	mark  int32
+}
+
+// luFactor factorizes the m x m matrix whose k-th column is column cols[k]
+// of a. Columns are preordered by increasing nonzero count (approximate
+// minimum fill for our near-0/1 systems).
+func luFactor(a *CSC, cols []int, pivTol float64) (*sparseLU, error) {
+	m := len(cols)
+	f := &sparseLU{
+		m:     m,
+		lp:    make([]int, m+1),
+		up:    make([]int, m+1),
+		pinv:  make([]int, m),
+		q:     make([]int, m),
+		qinv:  make([]int, m),
+		x:     make([]float64, m),
+		xi:    make([]int, m),
+		stack: make([]int, m),
+		pstk:  make([]int, m),
+		flags: make([]int32, m),
+	}
+	for i := range f.pinv {
+		f.pinv[i] = -1
+	}
+	// Column preorder: sort positions by column nnz ascending (stable).
+	order := make([]int, m)
+	for i := range order {
+		order[i] = i
+	}
+	counts := make([]int, m)
+	for k, j := range cols {
+		counts[k] = a.ColPtr[j+1] - a.ColPtr[j]
+	}
+	countingSortByKey(order, counts, m+1)
+	copy(f.q, order)
+	for k, c := range f.q {
+		f.qinv[c] = k
+	}
+
+	nnzGuess := 4 * a.NNZ() / max(1, a.Cols) * m
+	f.li = make([]int, 0, nnzGuess)
+	f.lx = make([]float64, 0, nnzGuess)
+	f.ui = make([]int, 0, nnzGuess)
+	f.ux = make([]float64, 0, nnzGuess)
+
+	for k := 0; k < m; k++ {
+		f.lp[k] = len(f.lx)
+		f.up[k] = len(f.ux)
+		j := cols[f.q[k]]
+		top := f.spSolve(a, j, k)
+		// Pivot search: largest magnitude among non-pivotal rows.
+		ipiv, amax := -1, 0.0
+		for p := top; p < m; p++ {
+			i := f.xi[p]
+			if f.pinv[i] < 0 {
+				if t := abs(f.x[i]); t > amax {
+					amax, ipiv = t, i
+				}
+			} else {
+				f.ui = append(f.ui, f.pinv[i])
+				f.ux = append(f.ux, f.x[i])
+			}
+		}
+		if ipiv < 0 || amax <= pivTol {
+			return nil, fmt.Errorf("%w: singular matrix at column %d", ErrNumerical, k)
+		}
+		pivot := f.x[ipiv]
+		f.ui = append(f.ui, k)
+		f.ux = append(f.ux, pivot)
+		f.pinv[ipiv] = k
+		f.li = append(f.li, ipiv)
+		f.lx = append(f.lx, 1)
+		for p := top; p < m; p++ {
+			i := f.xi[p]
+			if f.pinv[i] < 0 {
+				f.li = append(f.li, i)
+				f.lx = append(f.lx, f.x[i]/pivot)
+			}
+			f.x[i] = 0
+		}
+	}
+	f.lp[m] = len(f.lx)
+	f.up[m] = len(f.ux)
+	// Remap L's row indices into pivoted coordinates.
+	for p := range f.li {
+		f.li[p] = f.pinv[f.li[p]]
+	}
+	return f, nil
+}
+
+// spSolve computes x = L\B[:,j] for the partially built L, returning the
+// top index of the nonzero pattern stored in xi[top:m] in topological order.
+// This is the CSparse cs_spsolve scheme specialized to our layout.
+func (f *sparseLU) spSolve(a *CSC, j, k int) int {
+	f.mark++
+	top := f.m
+	ri, _ := a.Col(j)
+	for _, i := range ri {
+		if f.flags[i] != f.mark {
+			top = f.dfs(i, top)
+		}
+	}
+	// Scatter numeric values of b.
+	ri, rv := a.Col(j)
+	for t, i := range ri {
+		f.x[i] = rv[t]
+	}
+	// Numeric sparse triangular solve in topological order.
+	for p := top; p < f.m; p++ {
+		i := f.xi[p]
+		jcol := f.pinv[i]
+		if jcol < 0 || jcol >= k {
+			continue
+		}
+		xi := f.x[i]
+		if xi == 0 {
+			continue
+		}
+		// Skip the unit diagonal (first entry of the column).
+		for q := f.lp[jcol] + 1; q < f.lp[jcol+1]; q++ {
+			f.x[f.liOrig(q)] -= f.lx[q] * xi
+		}
+	}
+	return top
+}
+
+// liOrig returns the original row index of L entry q. During factorization
+// L's indices are still original row numbers (remapping happens at the end).
+func (f *sparseLU) liOrig(q int) int { return f.li[q] }
+
+// dfs performs an iterative depth-first search from row node i over the
+// column graph of the partially built L, pushing nodes onto xi in reverse
+// topological order.
+func (f *sparseLU) dfs(i, top int) int {
+	head := 0
+	f.stack[0] = i
+	for head >= 0 {
+		i = f.stack[head]
+		jcol := f.pinv[i]
+		if f.flags[i] != f.mark {
+			f.flags[i] = f.mark
+			if jcol < 0 {
+				f.pstk[head] = 0
+			} else {
+				f.pstk[head] = f.lp[jcol] + 1 // skip diagonal
+			}
+		}
+		done := true
+		if jcol >= 0 {
+			for p := f.pstk[head]; p < f.lp[jcol+1]; p++ {
+				i2 := f.li[p]
+				if f.flags[i2] == f.mark {
+					continue
+				}
+				f.pstk[head] = p + 1
+				head++
+				f.stack[head] = i2
+				done = false
+				break
+			}
+		}
+		if done {
+			head--
+			top--
+			f.xi[top] = i
+		}
+	}
+	return top
+}
+
+// lsolve solves L*x = x in place (x in pivoted coordinates).
+func (f *sparseLU) lsolve(x []float64) {
+	for j := 0; j < f.m; j++ {
+		xj := x[j]
+		if xj == 0 {
+			continue
+		}
+		for p := f.lp[j] + 1; p < f.lp[j+1]; p++ {
+			x[f.li[p]] -= f.lx[p] * xj
+		}
+	}
+}
+
+// usolve solves U*x = x in place.
+func (f *sparseLU) usolve(x []float64) {
+	for j := f.m - 1; j >= 0; j-- {
+		e := f.up[j+1] - 1
+		xj := x[j] / f.ux[e]
+		x[j] = xj
+		if xj == 0 {
+			continue
+		}
+		for p := f.up[j]; p < e; p++ {
+			x[f.ui[p]] -= f.ux[p] * xj
+		}
+	}
+}
+
+// utsolve solves U^T*x = x in place.
+func (f *sparseLU) utsolve(x []float64) {
+	for j := 0; j < f.m; j++ {
+		s := x[j]
+		e := f.up[j+1] - 1
+		for p := f.up[j]; p < e; p++ {
+			s -= f.ux[p] * x[f.ui[p]]
+		}
+		x[j] = s / f.ux[e]
+	}
+}
+
+// ltsolve solves L^T*x = x in place.
+func (f *sparseLU) ltsolve(x []float64) {
+	for j := f.m - 1; j >= 0; j-- {
+		s := x[j]
+		for p := f.lp[j] + 1; p < f.lp[j+1]; p++ {
+			s -= f.lx[p] * x[f.li[p]]
+		}
+		x[j] = s
+	}
+}
+
+// solve computes x = B^-1 b in place.
+func (f *sparseLU) solve(b []float64, tmp []float64) {
+	// tmp[pinv[i]] = b[i]; then L,U solves; then undo column perm.
+	for i := 0; i < f.m; i++ {
+		tmp[f.pinv[i]] = b[i]
+	}
+	f.lsolve(tmp)
+	f.usolve(tmp)
+	for k := 0; k < f.m; k++ {
+		b[f.q[k]] = tmp[k]
+	}
+}
+
+// solveT computes y = B^-T c in place.
+func (f *sparseLU) solveT(c []float64, tmp []float64) {
+	for k := 0; k < f.m; k++ {
+		tmp[k] = c[f.q[k]]
+	}
+	f.utsolve(tmp)
+	f.ltsolve(tmp)
+	for i := 0; i < f.m; i++ {
+		c[i] = tmp[f.pinv[i]]
+	}
+}
+
+// countingSortByKey stably sorts order by key[order-position] with keys in
+// [0, maxKey).
+func countingSortByKey(order []int, keys []int, maxKey int) {
+	buckets := make([]int, maxKey+1)
+	for _, o := range order {
+		buckets[keys[o]+1]++
+	}
+	for i := 0; i < maxKey; i++ {
+		buckets[i+1] += buckets[i]
+	}
+	out := make([]int, len(order))
+	for _, o := range order {
+		out[buckets[keys[o]]] = o
+		buckets[keys[o]]++
+	}
+	copy(order, out)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,61 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Tune finds the smallest integer parameter in [lo, hi] (e.g. a cache
+// capacity or replication factor) whose heuristic meets the QoS goal, and
+// returns that parameter's metrics. make builds a fresh heuristic for a
+// parameter value; perUser selects whether every node must meet the goal
+// individually (the paper's per-user scope) or only the aggregate.
+//
+// Achieved QoS is monotone in capacity for the heuristics in this
+// repository, which makes binary search sound; Tune nevertheless verifies
+// the found parameter.
+func Tune(cfg Config, make func(param int) Heuristic, lo, hi int, tqos float64, perUser bool) (int, *Metrics, error) {
+	if lo < 0 || hi < lo {
+		return 0, nil, fmt.Errorf("sim: bad tuning range [%d, %d]", lo, hi)
+	}
+	meets := func(m *Metrics) bool {
+		if perUser {
+			return m.MinNodeQoS >= tqos
+		}
+		return m.QoS >= tqos
+	}
+	run := func(p int) (*Metrics, error) {
+		m, err := Run(cfg, make(p))
+		if err != nil {
+			return nil, err
+		}
+		m.CacheCapacity = p
+		return m, nil
+	}
+	mHi, err := run(hi)
+	if err != nil {
+		return 0, nil, err
+	}
+	if !meets(mHi) {
+		return 0, mHi, ErrGoalNotMet
+	}
+	best, bestM := hi, mHi
+	for lo < hi {
+		mid := (lo + hi) / 2
+		m, err := run(mid)
+		if err != nil {
+			return 0, nil, err
+		}
+		if meets(m) {
+			best, bestM = mid, m
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return best, bestM, nil
+}
+
+// ErrGoalNotMet is returned when even the largest parameter cannot meet the
+// QoS goal (mirrors core.ErrGoalUnattainable for deployed heuristics).
+var ErrGoalNotMet = errors.New("sim: heuristic cannot meet the QoS goal at any parameter")

@@ -1,0 +1,66 @@
+package topology
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// topologyJSON is the on-disk form of a Topology: only the inputs are
+// stored; the latency matrix is recomputed on load so files stay small and
+// cannot go out of sync.
+type topologyJSON struct {
+	Nodes  int        `json:"nodes"`
+	Origin int        `json:"origin"`
+	Links  []linkJSON `json:"links"`
+}
+
+type linkJSON struct {
+	A         int     `json:"a"`
+	B         int     `json:"b"`
+	LatencyMS float64 `json:"latencyMillis"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (t *Topology) MarshalJSON() ([]byte, error) {
+	out := topologyJSON{Nodes: t.N, Origin: t.Origin}
+	for _, l := range t.Links {
+		out.Links = append(out.Links, linkJSON{A: l.A, B: l.B, LatencyMS: l.Latency})
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON implements json.Unmarshaler, revalidating and recomputing
+// shortest paths.
+func (t *Topology) UnmarshalJSON(data []byte) error {
+	var in topologyJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("topology: decode: %w", err)
+	}
+	links := make([]Link, len(in.Links))
+	for i, l := range in.Links {
+		links[i] = Link{A: l.A, B: l.B, Latency: l.LatencyMS}
+	}
+	built, err := New(in.Nodes, links, in.Origin)
+	if err != nil {
+		return err
+	}
+	*t = *built
+	return nil
+}
+
+// Write serializes the topology as JSON.
+func (t *Topology) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t)
+}
+
+// Read deserializes a topology from JSON.
+func Read(r io.Reader) (*Topology, error) {
+	var t Topology
+	if err := json.NewDecoder(r).Decode(&t); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}

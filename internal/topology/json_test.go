@@ -1,0 +1,47 @@
+package topology
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	orig, err := Generate(GenOptions{N: 12, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N != orig.N || got.Origin != orig.Origin {
+		t.Fatalf("shape mismatch: %d/%d vs %d/%d", got.N, got.Origin, orig.N, orig.Origin)
+	}
+	for i := range orig.Latency {
+		for j := range orig.Latency[i] {
+			if got.Latency[i][j] != orig.Latency[i][j] {
+				t.Fatalf("latency[%d][%d] = %g, want %g", i, j, got.Latency[i][j], orig.Latency[i][j])
+			}
+		}
+	}
+}
+
+func TestJSONRejectsInvalid(t *testing.T) {
+	cases := []string{
+		`{"nodes": 2, "origin": 0, "links": []}`,                                  // disconnected
+		`{"nodes": 2, "origin": 9, "links": [{"a":0,"b":1,"latencyMillis":100}]}`, // bad origin
+		`{"nodes": 2, "origin": 0, "links": [{"a":0,"b":7,"latencyMillis":100}]}`, // bad link
+		`{"nodes": 2, "origin": 0, "links": [{"a":0,"b":1,"latencyMillis":-10}]}`, // negative latency
+		`{not json`, // malformed
+	}
+	for _, c := range cases {
+		if _, err := Read(strings.NewReader(c)); err == nil {
+			t.Errorf("accepted invalid topology %s", c)
+		}
+	}
+}

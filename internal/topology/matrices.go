@@ -1,0 +1,73 @@
+package topology
+
+// The fetch and know matrices parameterize the heuristic-class constraints
+// of the MC-PERF formulation (paper Sec. 4.1): fetch[n][m] says node n can
+// fetch objects from node m (routing knowledge); know[n][m] says node n uses
+// information about accesses originating at m when deciding its own
+// placement (global/local knowledge).
+
+// FullMatrix returns an n x n matrix of true values: global routing or
+// global knowledge.
+func FullMatrix(n int) [][]bool {
+	m := make([][]bool, n)
+	for i := range m {
+		m[i] = make([]bool, n)
+		for j := range m[i] {
+			m[i][j] = true
+		}
+	}
+	return m
+}
+
+// IdentityMatrix returns an n x n matrix with only the diagonal set: purely
+// local knowledge.
+func IdentityMatrix(n int) [][]bool {
+	m := make([][]bool, n)
+	for i := range m {
+		m[i] = make([]bool, n)
+		m[i][i] = true
+	}
+	return m
+}
+
+// LocalPlusOrigin returns the fetch matrix of plain caching: each node can
+// serve hits locally and fetch misses only from the origin node.
+func (t *Topology) LocalPlusOrigin() [][]bool {
+	m := IdentityMatrix(t.N)
+	for i := range m {
+		m[i][t.Origin] = true
+	}
+	return m
+}
+
+// CooperativeFetch returns the fetch matrix of cooperative caching: each
+// node knows the contents of all nodes within the latency threshold, plus
+// the origin.
+func (t *Topology) CooperativeFetch(tlat float64) [][]bool {
+	m := t.Dist(tlat)
+	for i := range m {
+		m[i][t.Origin] = true
+	}
+	return m
+}
+
+// CooperativeKnow returns the knowledge matrix of cooperative caching: a
+// node's placement decisions may use accesses from all nodes within the
+// latency threshold.
+func (t *Topology) CooperativeKnow(tlat float64) [][]bool {
+	return t.Dist(tlat)
+}
+
+// CountTrue reports the number of set entries in a bool matrix; used by
+// tests and diagnostics.
+func CountTrue(m [][]bool) int {
+	c := 0
+	for i := range m {
+		for j := range m[i] {
+			if m[i][j] {
+				c++
+			}
+		}
+	}
+	return c
+}

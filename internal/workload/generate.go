@@ -1,0 +1,212 @@
+package workload
+
+import (
+	"errors"
+	"math"
+	"time"
+
+	"wideplace/internal/xrand"
+)
+
+// WebOptions configures GenerateWeb, the synthetic stand-in for the
+// WorldCup98-derived WEB workload: a heavy-tailed Zipf object popularity
+// with many unpopular objects and an uneven user population across sites.
+type WebOptions struct {
+	Nodes    int           // number of sites (default 20)
+	Objects  int           // number of objects (default 1000)
+	Requests int           // total reads (default 300_000)
+	Duration time.Duration // trace horizon (default 24h)
+	Seed     uint64
+	ZipfS    float64 // Zipf exponent for object popularity (default 1.0)
+	NodeSkew float64 // Zipf exponent for per-site activity (default 0.6)
+}
+
+func (o WebOptions) withDefaults() WebOptions {
+	if o.Nodes == 0 {
+		o.Nodes = 20
+	}
+	if o.Objects == 0 {
+		o.Objects = 1000
+	}
+	if o.Requests == 0 {
+		o.Requests = 300_000
+	}
+	if o.Duration == 0 {
+		o.Duration = 24 * time.Hour
+	}
+	if o.ZipfS == 0 {
+		o.ZipfS = 1.0
+	}
+	if o.NodeSkew == 0 {
+		o.NodeSkew = 0.6
+	}
+	return o
+}
+
+// GenerateWeb produces the WEB workload.
+func GenerateWeb(opts WebOptions) (*Trace, error) {
+	opts = opts.withDefaults()
+	if opts.Nodes <= 0 || opts.Objects <= 0 || opts.Requests <= 0 {
+		return nil, errors.New("workload: nodes, objects and requests must be positive")
+	}
+	objW := zipfWeights(opts.Objects, opts.ZipfS)
+	nodeW := zipfWeights(opts.Nodes, opts.NodeSkew)
+	return generate(genSpec{
+		nodes: opts.Nodes, objects: opts.Objects, requests: opts.Requests,
+		duration: opts.Duration, seed: opts.Seed,
+		objWeights: objW, nodeWeights: nodeW,
+	})
+}
+
+// GroupOptions configures GenerateGroup, the stand-in for the collaborative
+// working-group workload: only popular objects, near-uniform popularity,
+// all sites highly active. The paper's GROUP has 16M requests over one day
+// with per-object totals between 8.5K and 36K; Requests scales that down
+// while preserving the popularity ratio MaxPop/MinPop.
+type GroupOptions struct {
+	Nodes    int           // default 20
+	Objects  int           // default 1000
+	Requests int           // default 1_600_000 (paper/10)
+	Duration time.Duration // default 24h
+	Seed     uint64
+	MinPop   float64 // relative weight of the coldest object (default 8.5)
+	MaxPop   float64 // relative weight of the hottest object (default 36)
+}
+
+func (o GroupOptions) withDefaults() GroupOptions {
+	if o.Nodes == 0 {
+		o.Nodes = 20
+	}
+	if o.Objects == 0 {
+		o.Objects = 1000
+	}
+	if o.Requests == 0 {
+		o.Requests = 1_600_000
+	}
+	if o.Duration == 0 {
+		o.Duration = 24 * time.Hour
+	}
+	if o.MinPop == 0 {
+		o.MinPop = 8.5
+	}
+	if o.MaxPop == 0 {
+		o.MaxPop = 36
+	}
+	return o
+}
+
+// GenerateGroup produces the GROUP workload.
+func GenerateGroup(opts GroupOptions) (*Trace, error) {
+	opts = opts.withDefaults()
+	if opts.MinPop <= 0 || opts.MaxPop < opts.MinPop {
+		return nil, errors.New("workload: need 0 < MinPop <= MaxPop")
+	}
+	rng := xrand.New(opts.Seed ^ 0x5eed)
+	objW := make([]float64, opts.Objects)
+	for k := range objW {
+		objW[k] = rng.Range(opts.MinPop, opts.MaxPop)
+	}
+	nodeW := make([]float64, opts.Nodes)
+	for n := range nodeW {
+		nodeW[n] = 1 // all sites highly active
+	}
+	return generate(genSpec{
+		nodes: opts.Nodes, objects: opts.Objects, requests: opts.Requests,
+		duration: opts.Duration, seed: opts.Seed,
+		objWeights: objW, nodeWeights: nodeW,
+	})
+}
+
+type genSpec struct {
+	nodes, objects, requests int
+	duration                 time.Duration
+	seed                     uint64
+	objWeights               []float64
+	nodeWeights              []float64
+}
+
+func generate(s genSpec) (*Trace, error) {
+	if s.nodes <= 0 || s.objects <= 0 || s.requests <= 0 {
+		return nil, errors.New("workload: nodes, objects and requests must be positive")
+	}
+	if s.duration <= 0 {
+		return nil, errors.New("workload: duration must be positive")
+	}
+	rng := xrand.New(s.seed)
+	objCum := cumulative(s.objWeights)
+	nodeCum := cumulative(s.nodeWeights)
+	tr := &Trace{
+		Accesses:   make([]Access, s.requests),
+		NumNodes:   s.nodes,
+		NumObjects: s.objects,
+		Duration:   s.duration,
+	}
+	for i := range tr.Accesses {
+		tr.Accesses[i] = Access{
+			At:     time.Duration(rng.Float64() * float64(s.duration)),
+			Node:   sample(nodeCum, rng),
+			Object: sample(objCum, rng),
+		}
+	}
+	sortAccesses(tr.Accesses)
+	return tr, nil
+}
+
+// zipfWeights returns weights proportional to 1/rank^s.
+func zipfWeights(n int, s float64) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1 / math.Pow(float64(i+1), s)
+	}
+	return w
+}
+
+// cumulative converts weights to a normalized cumulative distribution.
+func cumulative(w []float64) []float64 {
+	cum := make([]float64, len(w))
+	total := 0.0
+	for i, v := range w {
+		total += v
+		cum[i] = total
+	}
+	for i := range cum {
+		cum[i] /= total
+	}
+	cum[len(cum)-1] = 1
+	return cum
+}
+
+// sample draws an index from a cumulative distribution by binary search.
+func sample(cum []float64, rng *xrand.Rand) int {
+	u := rng.Float64()
+	lo, hi := 0, len(cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cum[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// AddWrites returns a copy of the trace where a deterministic fraction of
+// accesses (chosen pseudo-randomly by seed) are turned into writes. Used by
+// the update-cost model extension (paper Sec. 3.2, term delta).
+func AddWrites(t *Trace, fraction float64, seed uint64) *Trace {
+	rng := xrand.New(seed)
+	out := &Trace{
+		Accesses:   make([]Access, len(t.Accesses)),
+		NumNodes:   t.NumNodes,
+		NumObjects: t.NumObjects,
+		Duration:   t.Duration,
+	}
+	copy(out.Accesses, t.Accesses)
+	for i := range out.Accesses {
+		if rng.Float64() < fraction {
+			out.Accesses[i].Write = true
+		}
+	}
+	return out
+}

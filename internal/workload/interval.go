@@ -1,0 +1,116 @@
+package workload
+
+import (
+	"errors"
+	"sort"
+	"time"
+)
+
+// This file implements the evaluation-interval rules of paper Sec. 4.3 and
+// Appendix B.
+//
+// Theorem 2: a lower bound computed with evaluation interval delta is also a
+// lower bound for any interval delta' with delta' >= 2*delta or
+// delta' == delta.
+//
+// Theorem 3: for heuristics evaluated at every access, the bound can be
+// computed with delta = m1/2 where m1 is the smallest positive inter-access
+// time between interacting nodes — or delta = m1 when no inter-access time
+// falls in (m1, 2*m1).
+
+// BoundAppliesTo reports whether a lower bound computed with interval delta
+// is valid for a heuristic whose evaluation interval is deltaPrime
+// (Theorem 2).
+func BoundAppliesTo(delta, deltaPrime time.Duration) bool {
+	return deltaPrime == delta || deltaPrime >= 2*delta
+}
+
+// PerAccessInterval returns the evaluation interval to use when bounding
+// heuristics that are evaluated after every single access (Theorem 3).
+// interacts[n][m] must be true when node n's placement or accesses can be
+// affected by node m (the matrix A of Lemma 1: dist OR know).
+func PerAccessInterval(t *Trace, interacts [][]bool) (time.Duration, error) {
+	if len(interacts) != t.NumNodes {
+		return 0, errors.New("workload: interaction matrix size mismatch")
+	}
+	// Collect, per node n, the time-sorted accesses of its sphere of
+	// knowledge, and find the two smallest distinct positive gaps overall.
+	m1, m2 := time.Duration(-1), time.Duration(-1)
+	consider := func(gap time.Duration) {
+		if gap <= 0 {
+			return
+		}
+		switch {
+		case m1 < 0 || gap < m1:
+			if m1 > 0 && m1 != gap {
+				m2 = m1
+			}
+			m1 = gap
+		case gap != m1 && (m2 < 0 || gap < m2):
+			m2 = gap
+		}
+	}
+	times := make([]time.Duration, 0, len(t.Accesses))
+	for n := 0; n < t.NumNodes; n++ {
+		times = times[:0]
+		for _, a := range t.Accesses {
+			if interacts[n][a.Node] {
+				times = append(times, a.At)
+			}
+		}
+		sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+		for i := 1; i < len(times); i++ {
+			consider(times[i] - times[i-1])
+		}
+	}
+	if m1 <= 0 {
+		return 0, errors.New("workload: no positive inter-access time found")
+	}
+	if m2 > 0 && m2 < 2*m1 {
+		return m1 / 2, nil
+	}
+	return m1, nil
+}
+
+// Stats summarizes a trace; used by documentation output and tests.
+type Stats struct {
+	Requests     int
+	Reads        int
+	Writes       int
+	HottestObj   int
+	HottestCount int
+	ColdestObj   int
+	ColdestCount int
+	ActiveNodes  int
+}
+
+// Describe computes summary statistics for the trace.
+func Describe(t *Trace) Stats {
+	objCount := make([]int, t.NumObjects)
+	nodeSeen := make([]bool, t.NumNodes)
+	s := Stats{Requests: len(t.Accesses)}
+	for _, a := range t.Accesses {
+		objCount[a.Object]++
+		nodeSeen[a.Node] = true
+		if a.Write {
+			s.Writes++
+		} else {
+			s.Reads++
+		}
+	}
+	s.ColdestCount = -1
+	for k, c := range objCount {
+		if c > s.HottestCount {
+			s.HottestCount, s.HottestObj = c, k
+		}
+		if s.ColdestCount < 0 || c < s.ColdestCount {
+			s.ColdestCount, s.ColdestObj = c, k
+		}
+	}
+	for _, seen := range nodeSeen {
+		if seen {
+			s.ActiveNodes++
+		}
+	}
+	return s
+}

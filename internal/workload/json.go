@@ -1,0 +1,85 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// traceJSON is the on-disk form of a Trace. Access times are stored in
+// milliseconds since the trace start (encoding/json has no native
+// time.Duration support; the unit lives in the field name).
+type traceJSON struct {
+	Nodes          int          `json:"nodes"`
+	Objects        int          `json:"objects"`
+	DurationMillis int64        `json:"durationMillis"`
+	Accesses       []accessJSON `json:"accesses"`
+}
+
+type accessJSON struct {
+	AtMillis int64 `json:"atMillis"`
+	Node     int   `json:"node"`
+	Object   int   `json:"object"`
+	Write    bool  `json:"write,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (t *Trace) MarshalJSON() ([]byte, error) {
+	out := traceJSON{
+		Nodes:          t.NumNodes,
+		Objects:        t.NumObjects,
+		DurationMillis: t.Duration.Milliseconds(),
+		Accesses:       make([]accessJSON, len(t.Accesses)),
+	}
+	for i, a := range t.Accesses {
+		out.Accesses[i] = accessJSON{
+			AtMillis: a.At.Milliseconds(),
+			Node:     a.Node,
+			Object:   a.Object,
+			Write:    a.Write,
+		}
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON implements json.Unmarshaler, revalidating the trace.
+func (t *Trace) UnmarshalJSON(data []byte) error {
+	var in traceJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("workload: decode: %w", err)
+	}
+	out := Trace{
+		NumNodes:   in.Nodes,
+		NumObjects: in.Objects,
+		Duration:   time.Duration(in.DurationMillis) * time.Millisecond,
+		Accesses:   make([]Access, len(in.Accesses)),
+	}
+	for i, a := range in.Accesses {
+		out.Accesses[i] = Access{
+			At:     time.Duration(a.AtMillis) * time.Millisecond,
+			Node:   a.Node,
+			Object: a.Object,
+			Write:  a.Write,
+		}
+	}
+	if err := out.Validate(); err != nil {
+		return err
+	}
+	*t = out
+	return nil
+}
+
+// Write serializes the trace as JSON.
+func (t *Trace) Write(w io.Writer) error {
+	return json.NewEncoder(w).Encode(t)
+}
+
+// Read deserializes and validates a trace from JSON.
+func Read(r io.Reader) (*Trace, error) {
+	var t Trace
+	if err := json.NewDecoder(r).Decode(&t); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}

@@ -1,0 +1,53 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTraceJSONRoundTrip(t *testing.T) {
+	orig, err := GenerateWeb(WebOptions{Nodes: 5, Objects: 20, Requests: 500, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig = AddWrites(orig, 0.1, 7)
+	var buf bytes.Buffer
+	if err := orig.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumNodes != orig.NumNodes || got.NumObjects != orig.NumObjects {
+		t.Fatalf("shape mismatch")
+	}
+	if len(got.Accesses) != len(orig.Accesses) {
+		t.Fatalf("access count %d, want %d", len(got.Accesses), len(orig.Accesses))
+	}
+	for i := range got.Accesses {
+		a, b := got.Accesses[i], orig.Accesses[i]
+		if a.Node != b.Node || a.Object != b.Object || a.Write != b.Write {
+			t.Fatalf("access %d mismatch: %+v vs %+v", i, a, b)
+		}
+		// Times survive at millisecond resolution.
+		if d := a.At - b.At; d > 1e6 || d < -1e6 {
+			t.Fatalf("access %d time drift: %v vs %v", i, a.At, b.At)
+		}
+	}
+}
+
+func TestTraceJSONRejectsInvalid(t *testing.T) {
+	cases := []string{
+		`{"nodes":1,"objects":1,"durationMillis":1000,"accesses":[{"atMillis":5000,"node":0,"object":0}]}`, // beyond duration
+		`{"nodes":1,"objects":1,"durationMillis":1000,"accesses":[{"atMillis":0,"node":4,"object":0}]}`,    // bad node
+		`{"nodes":0,"objects":1,"durationMillis":1000,"accesses":[]}`,                                      // no nodes
+		`{broken`, // malformed
+	}
+	for _, c := range cases {
+		if _, err := Read(strings.NewReader(c)); err == nil {
+			t.Errorf("accepted invalid trace %s", c)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+// Package xrand provides a small, fast, deterministic random number
+// generator used by the topology and workload generators. Reproducibility
+// across runs and platforms matters more than statistical sophistication
+// here, which is why the package does not depend on math/rand's global
+// state or version-dependent algorithms.
+package xrand
+
+// Rand is a SplitMix64-seeded xorshift64* generator. The zero value is not
+// valid; construct with New.
+type Rand struct {
+	s uint64
+}
+
+// New returns a generator seeded deterministically from seed.
+func New(seed uint64) *Rand {
+	// SplitMix64 step to avoid weak low-entropy seeds.
+	z := seed + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	if z == 0 {
+		z = 0x9e3779b97f4a7c15
+	}
+	return &Rand{s: z}
+}
+
+// Uint64 returns the next raw 64-bit value.
+func (r *Rand) Uint64() uint64 {
+	r.s ^= r.s << 13
+	r.s ^= r.s >> 7
+	r.s ^= r.s << 17
+	return r.s * 0x2545f4914f6cdd1d
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Range returns a uniform value in [lo, hi).
+func (r *Rand) Range(lo, hi float64) float64 {
+	return lo + r.Float64()*(hi-lo)
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}

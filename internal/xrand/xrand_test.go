@@ -1,0 +1,117 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at step %d", i)
+		}
+	}
+	c := New(43)
+	same := 0
+	a = New(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds collided %d/100 times", same)
+	}
+}
+
+func TestZeroSeedValid(t *testing.T) {
+	r := New(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Error("zero seed produced a stuck generator")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %g outside [0, 1)", v)
+		}
+	}
+}
+
+func TestFloat64Moments(t *testing.T) {
+	r := New(11)
+	const n = 200000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := r.Float64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("mean = %g, want ~0.5", mean)
+	}
+	if math.Abs(variance-1.0/12) > 0.01 {
+		t.Errorf("variance = %g, want ~1/12", variance)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(3)
+	seen := make([]bool, 10)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn(10) = %d", v)
+		}
+		seen[v] = true
+	}
+	for v, ok := range seen {
+		if !ok {
+			t.Errorf("value %d never produced", v)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestRange(t *testing.T) {
+	r := New(5)
+	for i := 0; i < 1000; i++ {
+		v := r.Range(100, 200)
+		if v < 100 || v >= 200 {
+			t.Fatalf("Range(100,200) = %g", v)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	check := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%30) + 1
+		p := New(seed).Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
