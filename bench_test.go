@@ -8,6 +8,7 @@ package wideplace_test
 
 import (
 	"bytes"
+	"runtime"
 	"testing"
 	"time"
 
@@ -41,10 +42,10 @@ func benchSystem(b *testing.B, kind experiments.WorkloadKind) *experiments.Syste
 	return sys
 }
 
-func benchmarkFigure1(b *testing.B, kind experiments.WorkloadKind) {
+func benchmarkFigure1(b *testing.B, kind experiments.WorkloadKind, parallel int) {
 	sys := benchSystem(b, kind)
 	for i := 0; i < b.N; i++ {
-		fig, err := experiments.Figure1(sys, core.BoundOptions{}, nil)
+		fig, err := experiments.Figure1(sys, experiments.Options{Parallel: parallel}, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -59,17 +60,28 @@ func benchmarkFigure1(b *testing.B, kind experiments.WorkloadKind) {
 }
 
 // BenchmarkFigure1WEB regenerates Figure 1 (left): per-class lower bounds
-// vs QoS for the heavy-tailed WEB workload.
-func BenchmarkFigure1WEB(b *testing.B) { benchmarkFigure1(b, experiments.WEB) }
+// vs QoS for the heavy-tailed WEB workload (all cores).
+func BenchmarkFigure1WEB(b *testing.B) { benchmarkFigure1(b, experiments.WEB, 0) }
 
 // BenchmarkFigure1GROUP regenerates Figure 1 (right) for the uniform GROUP
-// workload.
-func BenchmarkFigure1GROUP(b *testing.B) { benchmarkFigure1(b, experiments.GROUP) }
+// workload (all cores).
+func BenchmarkFigure1GROUP(b *testing.B) { benchmarkFigure1(b, experiments.GROUP, 0) }
+
+// BenchmarkSweep is the sweep-engine ablation: the same Figure 1 grid
+// solved serially and fanned out across GOMAXPROCS workers. The TSV output
+// is byte-identical between the two (results are slotted by cell index);
+// only the wall clock differs.
+func BenchmarkSweep(b *testing.B) {
+	b.Run("serial", func(b *testing.B) { benchmarkFigure1(b, experiments.WEB, 1) })
+	b.Run("parallel", func(b *testing.B) {
+		benchmarkFigure1(b, experiments.WEB, runtime.GOMAXPROCS(0))
+	})
+}
 
 func benchmarkFigure2(b *testing.B, kind experiments.WorkloadKind) {
 	sys := benchSystem(b, kind)
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Figure2(sys, core.BoundOptions{}, nil)
+		res, err := experiments.Figure2(sys, experiments.Options{}, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -101,7 +113,7 @@ func benchmarkFigure3(b *testing.B, kind experiments.WorkloadKind) {
 		b.Fatal(err)
 	}
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Figure3(sys, core.BoundOptions{}, nil)
+		res, err := experiments.Figure3(sys, experiments.Options{}, nil)
 		if err != nil {
 			b.Fatal(err)
 		}

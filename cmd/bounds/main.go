@@ -5,17 +5,21 @@
 //
 //	bounds -workload web -scale small            # Figure 1 series as TSV
 //	bounds -workload group -scale medium -v      # with progress on stderr
+//	bounds -parallel 1                           # serial sweep (same TSV)
+//	bounds -solve-timeout 5m                     # cap each LP solve
 //	bounds -classes                              # print the Table 3 taxonomy
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"math"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 
-	"wideplace/internal/core"
 	"wideplace/internal/experiments"
 	"wideplace/internal/topology"
 )
@@ -34,7 +38,9 @@ func run() error {
 		qosFlag      = flag.String("qos", "", "comma-separated QoS points (fractions), overriding the preset")
 		classesFlag  = flag.Bool("classes", false, "print the heuristic-class taxonomy (Table 3) and exit")
 		skipRound    = flag.Bool("skip-rounding", false, "compute LP bounds only (no tightness certificate)")
-		verbose      = flag.Bool("v", false, "print per-bound progress to stderr")
+		parallel     = flag.Int("parallel", 0, "concurrent bound solves (0 = GOMAXPROCS, 1 = serial)")
+		solveTimeout = flag.Duration("solve-timeout", 0, "wall-clock cap per LP solve (0 = unlimited)")
+		verbose      = flag.Bool("v", false, "print per-bound progress (incl. solver stats) to stderr")
 	)
 	flag.Parse()
 
@@ -66,24 +72,46 @@ func run() error {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		}
 	}
-	fig, err := experiments.Figure1(sys, core.BoundOptions{SkipRounding: *skipRound}, progress)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	opts := experiments.Options{
+		Parallel:     *parallel,
+		SolveTimeout: *solveTimeout,
+		Ctx:          ctx,
+	}
+	opts.Bound.SkipRounding = *skipRound
+	fig, err := experiments.Figure1(sys, opts, progress)
 	if err != nil {
 		return err
 	}
 	return fig.WriteTSV(os.Stdout)
 }
 
+// parseQoS parses a comma-separated list of QoS fractions, rejecting
+// non-numbers, NaN/Inf, values outside (0, 1] and duplicates before they
+// reach the sweep.
 func parseQoS(s string) ([]float64, error) {
 	var out []float64
+	seen := make(map[float64]bool)
 	for _, part := range strings.Split(s, ",") {
 		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
 		if err != nil {
 			return nil, fmt.Errorf("bad QoS point %q: %w", part, err)
 		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("QoS point %q is not a finite number", part)
+		}
 		if v <= 0 || v > 1 {
 			return nil, fmt.Errorf("QoS point %g outside (0, 1]", v)
 		}
+		if seen[v] {
+			return nil, fmt.Errorf("duplicate QoS point %g", v)
+		}
+		seen[v] = true
 		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no QoS points in %q", s)
 	}
 	return out, nil
 }

@@ -1,0 +1,37 @@
+package main
+
+import "testing"
+
+func TestParseQoS(t *testing.T) {
+	good, err := parseQoS("0.95, 0.99,0.999")
+	if err != nil {
+		t.Fatalf("valid list rejected: %v", err)
+	}
+	if len(good) != 3 || good[0] != 0.95 || good[2] != 0.999 {
+		t.Fatalf("parsed %v", good)
+	}
+	if one, err := parseQoS("1"); err != nil || len(one) != 1 || one[0] != 1 {
+		t.Fatalf("1 should be accepted (QoS of 100%%): %v %v", one, err)
+	}
+
+	bad := []struct {
+		in, why string
+	}{
+		{"0.95,abc", "non-number"},
+		{"NaN", "NaN"},
+		{"+Inf", "infinity"},
+		{"-Inf", "negative infinity"},
+		{"0", "zero is outside (0, 1]"},
+		{"-0.5", "negative"},
+		{"1.5", "above 1"},
+		{"0.95,0.95", "duplicate"},
+		{"0.9,0.95,0.9", "non-adjacent duplicate"},
+		{"", "empty string"},
+		{" , ", "only separators"},
+	}
+	for _, c := range bad {
+		if _, err := parseQoS(c.in); err == nil {
+			t.Errorf("parseQoS(%q) accepted; want error (%s)", c.in, c.why)
+		}
+	}
+}

@@ -5,11 +5,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
-	"wideplace/internal/core"
 	"wideplace/internal/experiments"
 )
 
@@ -25,7 +26,9 @@ func run() error {
 		workloadFlag = flag.String("workload", "web", "workload: web or group")
 		scaleFlag    = flag.String("scale", "small", "experiment scale: small, medium or large")
 		zetaFlag     = flag.Float64("zeta", 0, "node-opening cost (0 = scale preset)")
-		verbose      = flag.Bool("v", false, "print per-bound progress to stderr")
+		parallel     = flag.Int("parallel", 0, "concurrent bound solves in phase 2 (0 = GOMAXPROCS, 1 = serial)")
+		solveTimeout = flag.Duration("solve-timeout", 0, "wall-clock cap per LP solve (0 = unlimited)")
+		verbose      = flag.Bool("v", false, "print per-bound progress (incl. solver stats) to stderr")
 	)
 	flag.Parse()
 
@@ -46,7 +49,13 @@ func run() error {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		}
 	}
-	res, err := experiments.Figure3(sys, core.BoundOptions{}, progress)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	res, err := experiments.Figure3(sys, experiments.Options{
+		Parallel:     *parallel,
+		SolveTimeout: *solveTimeout,
+		Ctx:          ctx,
+	}, progress)
 	if err != nil {
 		return err
 	}

@@ -5,11 +5,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
-	"wideplace/internal/core"
 	"wideplace/internal/experiments"
 )
 
@@ -24,6 +25,8 @@ func run() error {
 	var (
 		workloadFlag = flag.String("workload", "web", "workload: web or group")
 		scaleFlag    = flag.String("scale", "small", "experiment scale: small, medium or large")
+		parallel     = flag.Int("parallel", 0, "concurrent cells (0 = GOMAXPROCS, 1 = serial)")
+		solveTimeout = flag.Duration("solve-timeout", 0, "wall-clock cap per LP solve (0 = unlimited)")
 		verbose      = flag.Bool("v", false, "print per-point progress to stderr")
 	)
 	flag.Parse()
@@ -42,7 +45,13 @@ func run() error {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		}
 	}
-	res, err := experiments.Figure2(sys, core.BoundOptions{}, progress)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	res, err := experiments.Figure2(sys, experiments.Options{
+		Parallel:     *parallel,
+		SolveTimeout: *solveTimeout,
+		Ctx:          ctx,
+	}, progress)
 	if err != nil {
 		return err
 	}

@@ -135,6 +135,7 @@ func (in *Instance) avgLowerBound(class *Class, opts BoundOptions) (*Bound, erro
 		LPBound:      sol.Objective,
 		LPIterations: sol.Iterations,
 		LPVariables:  b.model.NumVars(),
+		Stats:        sol.Stats,
 		StoreFrac:    extractStore(b, sol),
 	}
 	// The rounding algorithm targets the QoS metric; for the average-

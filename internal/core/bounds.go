@@ -35,6 +35,11 @@ type Bound struct {
 	// LPIterations and LPVariables report solver effort.
 	LPIterations int
 	LPVariables  int
+	// Stats is the full solver-effort breakdown (iterations,
+	// refactorizations, degenerate steps, Bland activations, pricing
+	// scans, wall time). For the Lagrangian engine it aggregates over all
+	// subproblem solves.
+	Stats lp.Stats
 	// UpSteps/DownSteps report rounding effort.
 	UpSteps, DownSteps int
 	// StoreFrac is the fractional LP placement (consumed by callers that
@@ -87,6 +92,7 @@ func (in *Instance) qosLowerBound(class *Class, opts BoundOptions) (*Bound, erro
 		LPBound:      sol.Objective,
 		LPIterations: sol.Iterations,
 		LPVariables:  b.model.NumVars(),
+		Stats:        sol.Stats,
 		StoreFrac:    extractStore(b, sol),
 	}
 	if b.perturbSlack > 0 {

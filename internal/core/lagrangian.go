@@ -81,6 +81,9 @@ type lagrangian struct {
 	// required is the per-node coverage requirement (after origin constants).
 	required []float64
 
+	// stats aggregates solver effort across all subproblem solves.
+	stats lp.Stats
+
 	// Multipliers.
 	lambda []float64   // per node, >= 0 (QoS rows)
 	mu     [][]float64 // per (placement node, interval), >= 0 (SC rows)
@@ -263,6 +266,7 @@ func (eng *lagrangian) solveSub(sub *objectSub, store [][]float64) (float64, err
 	if err != nil {
 		return 0, fmt.Errorf("object %d subproblem: %w", sub.k, err)
 	}
+	eng.stats.Add(sol.Stats)
 	for n := 0; n < eng.nN; n++ {
 		if n == eng.origin {
 			continue
@@ -440,7 +444,12 @@ func (eng *lagrangian) solve() (*Bound, error) {
 			}
 		}
 	}
-	return &Bound{Class: eng.class.Name, LPBound: best}, nil
+	return &Bound{
+		Class:        eng.class.Name,
+		LPBound:      best,
+		LPIterations: eng.stats.Iterations,
+		Stats:        eng.stats,
+	}, nil
 }
 
 // storeSumNodes sums one interval's store values across placement nodes.

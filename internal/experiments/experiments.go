@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"wideplace/internal/core"
+	"wideplace/internal/lp"
 	"wideplace/internal/topology"
 	"wideplace/internal/workload"
 )
@@ -168,6 +169,9 @@ type Point struct {
 	Bound      float64
 	Feasible   float64
 	Infeasible bool // the class cannot meet this QoS level at any cost
+	// Stats is the solver effort of this cell's LP solve (zero for
+	// infeasible cells, whose solve terminates without a solution).
+	Stats lp.Stats
 }
 
 // Series is one curve of a figure.
@@ -210,7 +214,27 @@ func (f *Figure) WriteTSV(w io.Writer) error {
 		}
 		fmt.Fprintln(w)
 	}
-	return nil
+	// Solver-effort footer. Only deterministic counters appear here (wall
+	// time stays in the progress logs), so the TSV is byte-identical across
+	// parallel and serial sweeps.
+	cells, agg := f.SolverStats()
+	_, err := fmt.Fprintf(w, "# solver: cells=%d lp-iterations=%d phase1-iterations=%d refactorizations=%d degenerate-steps=%d bland-activations=%d bound-flips=%d pricing-scans=%d\n",
+		cells, agg.Iterations, agg.Phase1Iterations, agg.Refactorizations,
+		agg.DegenerateSteps, agg.BlandActivations, agg.BoundFlips, agg.PricingScans)
+	return err
+}
+
+// SolverStats aggregates the solver effort over every cell of the figure.
+// The returned counters (everything except Wall) are deterministic for a
+// given spec and option set.
+func (f *Figure) SolverStats() (cells int, agg lp.Stats) {
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			cells++
+			agg.Add(p.Stats)
+		}
+	}
+	return cells, agg
 }
 
 // boundOrInfeasible wraps LowerBound, mapping goal unattainability to an
@@ -223,5 +247,5 @@ func boundPoint(inst *core.Instance, class *core.Class, tqos float64, opts core.
 		}
 		return Point{}, err
 	}
-	return Point{Class: class.Name, QoS: tqos, Bound: b.LPBound, Feasible: b.FeasibleCost}, nil
+	return Point{Class: class.Name, QoS: tqos, Bound: b.LPBound, Feasible: b.FeasibleCost, Stats: b.Stats}, nil
 }

@@ -5,11 +5,9 @@ import (
 	"strings"
 	"testing"
 	"time"
-
-	"wideplace/internal/core"
 )
 
-func boundOpts() core.BoundOptions { return core.BoundOptions{} }
+func boundOpts() Options { return Options{} }
 
 // tinySpec is small enough for CI yet exercises every figure path.
 func tinySpec(kind WorkloadKind) Spec {

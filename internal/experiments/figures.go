@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -11,6 +12,9 @@ import (
 )
 
 // Progress receives one line per completed bound/simulation; nil discards.
+// The sweep engine serializes calls, so implementations need no locking,
+// but under Parallel > 1 the completion order (and therefore the line
+// order) is nondeterministic.
 type Progress func(format string, args ...interface{})
 
 func (p Progress) logf(format string, args ...interface{}) {
@@ -19,11 +23,27 @@ func (p Progress) logf(format string, args ...interface{}) {
 	}
 }
 
+// logPoint emits the standard progress line for one solved bound cell,
+// including the solver-effort counters.
+func (p Progress) logPoint(pt Point, elapsed time.Duration) {
+	if p == nil {
+		return
+	}
+	if pt.Infeasible {
+		p("%-24s qos=%-8g infeasible (%.1fs)", pt.Class, pt.QoS*100, elapsed.Seconds())
+		return
+	}
+	p("%-24s qos=%-8g bound=%-10.0f feasible=%-10.0f iters=%-6d refac=%-3d degen=%-5d bland=%d scans=%-9d (%.1fs)",
+		pt.Class, pt.QoS*100, pt.Bound, pt.Feasible,
+		pt.Stats.Iterations, pt.Stats.Refactorizations, pt.Stats.DegenerateSteps,
+		pt.Stats.BlandActivations, pt.Stats.PricingScans, elapsed.Seconds())
+}
+
 // Figure1 computes the per-class lower bounds as a function of the QoS
 // goal (paper Figure 1): general, storage-constrained, replica-
 // constrained, decentralized-local-routing, caching and cooperative
 // caching.
-func Figure1(sys *System, opts core.BoundOptions, progress Progress) (*Figure, error) {
+func Figure1(sys *System, opts Options, progress Progress) (*Figure, error) {
 	classes := []*core.Class{
 		core.General(),
 		core.StorageConstrained(),
@@ -32,33 +52,45 @@ func Figure1(sys *System, opts core.BoundOptions, progress Progress) (*Figure, e
 		core.Caching(sys.Topo),
 		core.CoopCaching(sys.Topo, sys.Spec.Tlat),
 	}
-	return boundFigure(sys, classes, fmt.Sprintf("Figure 1 (%s): lower bounds per heuristic class", sys.Spec.Workload), opts, progress)
+	return boundFigure(sys, newInstanceCache(sys), classes,
+		fmt.Sprintf("Figure 1 (%s): lower bounds per heuristic class", sys.Spec.Workload), opts, progress)
 }
 
-// boundFigure sweeps QoS points for a class list.
-func boundFigure(sys *System, classes []*core.Class, title string, opts core.BoundOptions, progress Progress) (*Figure, error) {
+// boundFigure sweeps the (class, QoS point) grid. Cells are independent
+// LP solves, so they fan out across opts.Parallel workers; each result is
+// slotted by its grid index, which keeps the figure byte-identical to a
+// serial sweep. Every per-QoS instance is built exactly once and shared
+// across classes via the cache.
+func boundFigure(sys *System, cache *instanceCache, classes []*core.Class, title string, opts Options, progress Progress) (*Figure, error) {
 	fig := &Figure{Title: title, Spec: sys.Spec}
-	for _, class := range classes {
-		series := Series{Name: class.Name}
-		for _, q := range sys.Spec.QoSPoints {
-			inst, err := sys.Instance(q)
-			if err != nil {
-				return nil, err
-			}
-			start := time.Now()
-			p, err := boundPoint(inst, class, q, opts)
-			if err != nil {
-				return nil, fmt.Errorf("%s at %g: %w", class.Name, q, err)
-			}
-			if p.Infeasible {
-				progress.logf("%-24s qos=%-8g infeasible (%.1fs)", class.Name, q*100, time.Since(start).Seconds())
-			} else {
-				progress.logf("%-24s qos=%-8g bound=%-10.0f feasible=%-10.0f (%.1fs)",
-					class.Name, q*100, p.Bound, p.Feasible, time.Since(start).Seconds())
-			}
-			series.Points = append(series.Points, p)
+	qos := sys.Spec.QoSPoints
+	nC, nQ := len(classes), len(qos)
+	points := make([][]Point, nC)
+	for c := range points {
+		points[c] = make([]Point, nQ)
+	}
+	progress = syncProgress(progress)
+	err := runCells(opts.context(), nC*nQ, opts.workers(nC*nQ), func(ctx context.Context, idx int) error {
+		c, qi := idx/nQ, idx%nQ
+		class, q := classes[c], qos[qi]
+		inst, err := cache.get(q)
+		if err != nil {
+			return err
 		}
-		fig.Series = append(fig.Series, series)
+		start := time.Now()
+		p, err := boundPoint(inst, class, q, opts.boundOptions(ctx))
+		if err != nil {
+			return fmt.Errorf("%s at %g: %w", class.Name, q, err)
+		}
+		progress.logPoint(p, time.Since(start))
+		points[c][qi] = p
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for c, class := range classes {
+		fig.Series = append(fig.Series, Series{Name: class.Name, Points: points[c]})
 	}
 	return fig, nil
 }
@@ -87,9 +119,9 @@ type Figure2Result struct {
 // Figure2 reproduces the paper's Figure 2: the cost of the heuristic the
 // methodology picks (greedy-global for WEB, Qiu-style greedy for GROUP),
 // tuned per QoS level, against its class bound and against tuned LRU
-// caching.
-func Figure2(sys *System, opts core.BoundOptions, progress Progress) (*Figure2Result, error) {
-	res := &Figure2Result{Spec: sys.Spec}
+// caching. The three tasks per QoS level (class bound, chosen-heuristic
+// tuning, LRU tuning) are independent and fan out across workers.
+func Figure2(sys *System, opts Options, progress Progress) (*Figure2Result, error) {
 	var boundClass *core.Class
 	if sys.Spec.Workload == GROUP {
 		boundClass = core.ReplicaConstrained()
@@ -104,33 +136,57 @@ func Figure2(sys *System, opts core.BoundOptions, progress Progress) (*Figure2Re
 	if sys.Spec.Workload == GROUP {
 		maxParam = sys.Topo.N - 1
 	}
-	for _, q := range sys.Spec.QoSPoints {
-		inst, err := sys.Instance(q)
-		if err != nil {
-			return nil, err
-		}
-		bp, err := boundPoint(inst, boundClass, q, opts)
-		if err != nil {
-			return nil, err
-		}
-		res.Bound = append(res.Bound, bp)
-		progress.logf("%-24s qos=%-8g bound=%.0f", boundClass.Name, q*100, bp.Bound)
-
-		// The deployed centralized heuristics are the demand-known
-		// (prefetching) variants: their Table 3 classes are proactive, and
-		// the literature they come from ([4], [11]) assumes per-interval
-		// demand is an input. LRU is the reactive caching baseline; its
-		// curve truncates where the caching class bound does.
-		mk := func(p int) sim.Heuristic {
-			if sys.Spec.Workload == GROUP {
-				return heuristics.NewQiuGreedyPrefetch(p, sys.Counts)
+	qos := sys.Spec.QoSPoints
+	nQ := len(qos)
+	res := &Figure2Result{
+		Spec:   sys.Spec,
+		Bound:  make([]Point, nQ),
+		Chosen: make([]HeuristicPoint, nQ),
+		LRU:    make([]HeuristicPoint, nQ),
+	}
+	cache := newInstanceCache(sys)
+	progress = syncProgress(progress)
+	// Cell layout: 3 tasks per QoS point.
+	const tasks = 3
+	err := runCells(opts.context(), tasks*nQ, opts.workers(tasks*nQ), func(ctx context.Context, idx int) error {
+		qi, task := idx/tasks, idx%tasks
+		q := qos[qi]
+		switch task {
+		case 0:
+			inst, err := cache.get(q)
+			if err != nil {
+				return err
 			}
-			return heuristics.NewGreedyGlobalPrefetch(p, sys.Counts)
+			start := time.Now()
+			bp, err := boundPoint(inst, boundClass, q, opts.boundOptions(ctx))
+			if err != nil {
+				return fmt.Errorf("%s at %g: %w", boundClass.Name, q, err)
+			}
+			progress.logPoint(bp, time.Since(start))
+			res.Bound[qi] = bp
+		case 1:
+			// The deployed centralized heuristics are the demand-known
+			// (prefetching) variants: their Table 3 classes are proactive,
+			// and the literature they come from ([4], [11]) assumes
+			// per-interval demand is an input. LRU is the reactive caching
+			// baseline; its curve truncates where the caching class bound
+			// does.
+			mk := func(p int) sim.Heuristic {
+				if sys.Spec.Workload == GROUP {
+					return heuristics.NewQiuGreedyPrefetch(p, sys.Counts)
+				}
+				return heuristics.NewGreedyGlobalPrefetch(p, sys.Counts)
+			}
+			res.Chosen[qi] = tunePoint(cfg, mk, maxParam, q, progress)
+		case 2:
+			res.LRU[qi] = tunePoint(cfg, func(p int) sim.Heuristic {
+				return heuristics.NewLRU(p)
+			}, sys.Spec.Objects, q, progress)
 		}
-		res.Chosen = append(res.Chosen, tunePoint(cfg, mk, maxParam, q, progress))
-		res.LRU = append(res.LRU, tunePoint(cfg, func(p int) sim.Heuristic {
-			return heuristics.NewLRU(p)
-		}, sys.Spec.Objects, q, progress))
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }
@@ -163,11 +219,13 @@ type Figure3Result struct {
 // Figure3 reproduces the paper's Figure 3: phase 1 opens nodes under the
 // opening cost zeta at the loosest QoS point, then phase 2 computes the
 // reactive, storage-constrained, replica-constrained and caching bounds on
-// the reduced topology.
-func Figure3(sys *System, opts core.BoundOptions, progress Progress) (*Figure3Result, error) {
+// the reduced topology. Phase 1 is a single solve; phase 2 fans out like
+// Figure 1.
+func Figure3(sys *System, opts Options, progress Progress) (*Figure3Result, error) {
 	planQoS := sys.Spec.QoSPoints[0]
 	dep, err := core.PlanDeployment(sys.Topo, sys.Trace, sys.Spec.Delta,
-		core.DefaultCost(), core.QoS(planQoS, sys.Spec.Tlat), sys.Spec.Zeta, nil, opts)
+		core.DefaultCost(), core.QoS(planQoS, sys.Spec.Tlat), sys.Spec.Zeta, nil,
+		opts.boundOptions(opts.context()))
 	if err != nil {
 		return nil, fmt.Errorf("phase 1: %w", err)
 	}
@@ -184,7 +242,7 @@ func Figure3(sys *System, opts core.BoundOptions, progress Progress) (*Figure3Re
 		withReactive(core.ReplicaConstrained()),
 		core.Caching(dep.Topology),
 	}
-	fig, err := boundFigure(subSys, classes,
+	fig, err := boundFigure(subSys, newInstanceCache(subSys), classes,
 		fmt.Sprintf("Figure 3 (%s): bounds on the %d-node deployed topology", sys.Spec.Workload, dep.Topology.N),
 		opts, progress)
 	if err != nil {

@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"time"
+
+	"wideplace/internal/core"
+)
+
+// Options configures a figure run: the bound computation itself plus the
+// sweep engine that fans the independent (class, QoS) cells out across
+// workers.
+type Options struct {
+	// Bound configures each lower-bound computation.
+	Bound core.BoundOptions
+	// Parallel is the number of concurrent solves: 0 means GOMAXPROCS,
+	// 1 runs the sweep serially. Results are slotted by cell index, so
+	// the output is byte-identical at every setting.
+	Parallel int
+	// SolveTimeout caps each LP solve's wall clock (0 = unlimited); one
+	// pathological solve then fails with lp.ErrTimeout instead of
+	// hanging the whole figure.
+	SolveTimeout time.Duration
+	// Ctx cancels the whole sweep (nil = context.Background()).
+	Ctx context.Context
+}
+
+// workers resolves the worker count for n cells.
+func (o Options) workers(n int) int {
+	w := o.Parallel
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// context resolves the sweep context.
+func (o Options) context() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
+}
+
+// boundOptions threads the sweep's cancellation context and per-solve
+// timeout into the LP options of one cell.
+func (o Options) boundOptions(ctx context.Context) core.BoundOptions {
+	b := o.Bound
+	b.LP.Ctx = ctx
+	if o.SolveTimeout > 0 {
+		b.LP.Timeout = o.SolveTimeout
+	}
+	return b
+}
+
+// instanceCache builds each per-QoS MC-PERF instance exactly once and
+// shares it across every class series of a sweep. Distinct QoS points
+// build concurrently; a repeated point blocks on the first build.
+type instanceCache struct {
+	sys *System
+	mu  sync.Mutex
+	m   map[float64]*instanceEntry
+}
+
+type instanceEntry struct {
+	once sync.Once
+	inst *core.Instance
+	err  error
+}
+
+func newInstanceCache(sys *System) *instanceCache {
+	return &instanceCache{sys: sys, m: make(map[float64]*instanceEntry)}
+}
+
+func (c *instanceCache) get(q float64) (*core.Instance, error) {
+	c.mu.Lock()
+	e := c.m[q]
+	if e == nil {
+		e = &instanceEntry{}
+		c.m[q] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.inst, e.err = c.sys.Instance(q) })
+	return e.inst, e.err
+}
+
+// runCells executes fn for every index in [0, n) on a bounded worker
+// pool. fn writes its result into its own pre-allocated slot, which keeps
+// result ordering deterministic regardless of completion order. The first
+// error cancels the remaining cells; its cause is returned (later
+// cancellation-induced errors are dropped).
+func runCells(parent context.Context, n, workers int, fn func(ctx context.Context, i int) error) error {
+	ctx, cancel := context.WithCancel(parent)
+	defer cancel()
+
+	jobs := make(chan int, n)
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if ctx.Err() != nil {
+					return // sweep canceled: drain nothing further
+				}
+				if err := fn(ctx, i); err != nil {
+					errOnce.Do(func() {
+						firstErr = err
+						cancel()
+					})
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	// The parent may have been canceled between cells without any fn
+	// observing it.
+	return context.Cause(ctx)
+}
+
+// syncProgress serializes a Progress callback so concurrent workers never
+// interleave lines.
+func syncProgress(p Progress) Progress {
+	if p == nil {
+		return nil
+	}
+	var mu sync.Mutex
+	return func(format string, args ...interface{}) {
+		mu.Lock()
+		defer mu.Unlock()
+		p(format, args...)
+	}
+}

@@ -1,0 +1,171 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"sync"
+	"testing"
+)
+
+// TestParallelSweepGolden is the engine's central guarantee: fanning the
+// (class, QoS) grid across workers produces byte-identical TSV output to
+// the serial sweep, for both workloads.
+func TestParallelSweepGolden(t *testing.T) {
+	for _, kind := range []WorkloadKind{WEB, GROUP} {
+		t.Run(string(kind), func(t *testing.T) {
+			sys, err := Build(tinySpec(kind))
+			if err != nil {
+				t.Fatal(err)
+			}
+			render := func(parallel int) string {
+				fig, err := Figure1(sys, Options{Parallel: parallel}, nil)
+				if err != nil {
+					t.Fatalf("parallel=%d: %v", parallel, err)
+				}
+				var buf bytes.Buffer
+				if err := fig.WriteTSV(&buf); err != nil {
+					t.Fatal(err)
+				}
+				return buf.String()
+			}
+			serial := render(1)
+			parallel := render(4)
+			if serial != parallel {
+				t.Errorf("parallel sweep TSV differs from serial:\n--- serial ---\n%s--- parallel ---\n%s", serial, parallel)
+			}
+		})
+	}
+}
+
+// TestSweepSolverStats asserts that every feasible cell reports nonzero
+// solver effort (the observability layer's acceptance criterion).
+func TestSweepSolverStats(t *testing.T) {
+	sys, err := Build(tinySpec(WEB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig, err := Figure1(sys, Options{Parallel: 4}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range fig.Series {
+		for _, p := range s.Points {
+			if p.Infeasible {
+				continue
+			}
+			if p.Stats.Iterations <= 0 {
+				t.Errorf("%s at %g: Stats.Iterations = %d, want > 0", s.Name, p.QoS, p.Stats.Iterations)
+			}
+			if p.Stats.Wall <= 0 {
+				t.Errorf("%s at %g: Stats.Wall = %v, want > 0", s.Name, p.QoS, p.Stats.Wall)
+			}
+		}
+	}
+	cells, agg := fig.SolverStats()
+	if cells == 0 || agg.Iterations <= 0 {
+		t.Errorf("aggregate stats empty: cells=%d %+v", cells, agg)
+	}
+}
+
+// TestSweepCanceled asserts that a canceled context aborts the sweep
+// promptly with a distinguishable error.
+func TestSweepCanceled(t *testing.T) {
+	sys, err := Build(tinySpec(WEB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = Figure1(sys, Options{Parallel: 2, Ctx: ctx}, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestFigure2Parallel checks the three-task-per-QoS fan-out matches the
+// serial run.
+func TestFigure2Parallel(t *testing.T) {
+	sys, err := Build(tinySpec(WEB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := Figure2(sys, Options{Parallel: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Figure2(sys, Options{Parallel: 4}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial.Bound {
+		if serial.Bound[i].Bound != parallel.Bound[i].Bound ||
+			serial.Bound[i].Infeasible != parallel.Bound[i].Infeasible {
+			t.Errorf("bound %d differs: %+v vs %+v", i, serial.Bound[i], parallel.Bound[i])
+		}
+		if serial.Chosen[i] != parallel.Chosen[i] {
+			t.Errorf("chosen %d differs: %+v vs %+v", i, serial.Chosen[i], parallel.Chosen[i])
+		}
+		if serial.LRU[i] != parallel.LRU[i] {
+			t.Errorf("lru %d differs: %+v vs %+v", i, serial.LRU[i], parallel.LRU[i])
+		}
+	}
+}
+
+// TestInstanceCacheBuildsOnce verifies the per-QoS instance is shared, not
+// rebuilt per class.
+func TestInstanceCacheBuildsOnce(t *testing.T) {
+	sys, err := Build(tinySpec(WEB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := newInstanceCache(sys)
+	var wg sync.WaitGroup
+	insts := make([]interface{}, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			inst, err := cache.get(0.9)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			insts[i] = inst
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < 8; i++ {
+		if insts[i] != insts[0] {
+			t.Fatalf("concurrent gets returned distinct instances")
+		}
+	}
+}
+
+// TestRunCellsDeterministicSlots checks that results land in their own
+// slots regardless of completion order and that the first error wins.
+func TestRunCellsDeterministicSlots(t *testing.T) {
+	out := make([]int, 64)
+	err := runCells(context.Background(), len(out), 8, func(ctx context.Context, i int) error {
+		out[i] = i * i
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("slot %d = %d, want %d", i, v, i*i)
+		}
+	}
+	boom := errors.New("boom")
+	err = runCells(context.Background(), 32, 4, func(ctx context.Context, i int) error {
+		if i == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}

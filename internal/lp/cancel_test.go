@@ -1,0 +1,110 @@
+package lp
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestSolveCanceledContext(t *testing.T) {
+	rng := newTestRand(7)
+	m := randLP(rng, 40, 40)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // canceled before the solve even starts
+	_, err := SolveModel(m, Options{Ctx: ctx})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestSolveCancelMidLoop(t *testing.T) {
+	// CheckEvery: 1 forces a poll at every iteration; the context carries a
+	// deadline already in the past, so the first in-loop poll must abort.
+	rng := newTestRand(11)
+	m := randLP(rng, 60, 60)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	_, err := SolveModel(m, Options{Ctx: ctx, CheckEvery: 1})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+func TestSolveTimeout(t *testing.T) {
+	rng := newTestRand(13)
+	m := randLP(rng, 40, 40)
+	// A 1ns budget is exhausted by the pre-loop interrupt check, making the
+	// test deterministic regardless of solve speed.
+	_, err := SolveModel(m, Options{Timeout: time.Nanosecond})
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	// A generous budget must not interfere.
+	sol, err := SolveModel(m, Options{Timeout: time.Hour})
+	if err != nil {
+		t.Fatalf("solve with generous timeout: %v", err)
+	}
+	verifyOptimal(t, m, sol)
+}
+
+func TestSolveStatsPopulated(t *testing.T) {
+	rng := newTestRand(17)
+	m := randLP(rng, 50, 50)
+	sol, err := SolveModel(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := sol.Stats
+	if st.Iterations != sol.Iterations {
+		t.Errorf("Stats.Iterations = %d, Solution.Iterations = %d", st.Iterations, sol.Iterations)
+	}
+	if st.Iterations <= 0 {
+		t.Errorf("Iterations = %d, want > 0", st.Iterations)
+	}
+	if st.Refactorizations < 1 {
+		t.Errorf("Refactorizations = %d, want >= 1 (the initial basis factorization)", st.Refactorizations)
+	}
+	if st.PricingScans <= 0 {
+		t.Errorf("PricingScans = %d, want > 0", st.PricingScans)
+	}
+	if st.Phase1Iterations < 0 || st.Phase1Iterations > st.Iterations {
+		t.Errorf("Phase1Iterations = %d outside [0, %d]", st.Phase1Iterations, st.Iterations)
+	}
+	if st.Wall <= 0 {
+		t.Errorf("Wall = %v, want > 0", st.Wall)
+	}
+}
+
+func TestStatsDeterministicAcrossSolves(t *testing.T) {
+	// Everything except Wall must be identical when the same problem is
+	// solved twice with the same options — this is what lets sweep
+	// aggregates be compared byte-for-byte across serial and parallel runs.
+	rng1 := newTestRand(23)
+	rng2 := newTestRand(23)
+	a, err := SolveModel(randLP(rng1, 45, 45), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SolveModel(randLP(rng2, 45, 45), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, sb := a.Stats, b.Stats
+	sa.Wall, sb.Wall = 0, 0
+	if sa != sb {
+		t.Errorf("stats differ across identical solves:\n%+v\n%+v", sa, sb)
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := Stats{Iterations: 1, Phase1Iterations: 1, Refactorizations: 2, DegenerateSteps: 3,
+		BlandActivations: 1, BoundFlips: 4, PricingScans: 100, Wall: time.Second}
+	b := a
+	b.Add(a)
+	if b.Iterations != 2 || b.Refactorizations != 4 || b.DegenerateSteps != 6 ||
+		b.BlandActivations != 2 || b.BoundFlips != 8 || b.PricingScans != 200 ||
+		b.Phase1Iterations != 2 || b.Wall != 2*time.Second {
+		t.Errorf("Add wrong: %+v", b)
+	}
+}

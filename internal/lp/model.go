@@ -27,6 +27,8 @@ var (
 	ErrIterLimit = errors.New("lp: iteration limit reached")
 	// ErrNumerical is returned when the factorization becomes unusable.
 	ErrNumerical = errors.New("lp: numerical failure")
+	// ErrTimeout is returned when a solve exceeds Options.Timeout.
+	ErrTimeout = errors.New("lp: solve wall-clock timeout")
 )
 
 // Coef is a single (variable, coefficient) entry of a constraint row.
@@ -207,8 +209,11 @@ type Solution struct {
 	// for a Minimize model, Duals[i] is the rate of change of the optimal
 	// objective per unit increase of the row's bounds).
 	Duals []float64
-	// Iterations is the total simplex iteration count across both phases.
+	// Iterations is the total simplex iteration count across both phases
+	// (mirrors Stats.Iterations; kept for convenience).
 	Iterations int
+	// Stats carries the full solver-effort breakdown for this solve.
+	Stats Stats
 }
 
 // Value returns the solution value of structural variable v.

@@ -1,8 +1,10 @@
 package lp
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"time"
 )
 
 // Options configures the simplex solver.
@@ -13,6 +15,16 @@ type Options struct {
 	PivTol float64
 	// MaxIter caps the total iteration count (0 = automatic).
 	MaxIter int
+	// Ctx, when non-nil, cancels the solve: the main loop polls it every
+	// CheckEvery iterations and returns an error wrapping the context's
+	// cause (errors.Is(err, context.Canceled) etc. hold).
+	Ctx context.Context
+	// Timeout caps the solve's wall-clock time (0 = unlimited). On expiry
+	// the solve returns an error wrapping ErrTimeout.
+	Timeout time.Duration
+	// CheckEvery is the number of iterations between cancellation and
+	// deadline checks (0 = automatic).
+	CheckEvery int
 	// BlandAfter is the number of consecutive degenerate iterations after
 	// which the solver switches to Bland's rule (0 = automatic).
 	BlandAfter int
@@ -50,6 +62,9 @@ func (o Options) withDefaults(m, n int) Options {
 		if n < 4*o.SectionSize {
 			o.SectionSize = -1 // small problems: full pricing
 		}
+	}
+	if o.CheckEvery == 0 {
+		o.CheckEvery = 64
 	}
 	return o
 }
@@ -99,6 +114,11 @@ type simplex struct {
 	degenerate int
 	bland      bool
 	priceStart int
+
+	stats     Stats
+	start     time.Time
+	deadline  time.Time // zero when no timeout is set
+	lastCheck int       // iteration count at the last interrupt poll
 }
 
 func newSimplex(p *Problem, opts Options) *simplex {
@@ -127,6 +147,15 @@ func newSimplex(p *Problem, opts Options) *simplex {
 }
 
 func (s *simplex) solve() (*Solution, error) {
+	s.start = time.Now()
+	if s.opts.Timeout > 0 {
+		s.deadline = s.start.Add(s.opts.Timeout)
+	}
+	// Catch an already-canceled context (or an already-expired deadline)
+	// before any factorization work.
+	if err := s.checkInterrupt(); err != nil {
+		return nil, err
+	}
 	if s.m == 0 {
 		return s.solveUnconstrained()
 	}
@@ -143,6 +172,7 @@ func (s *simplex) solve() (*Solution, error) {
 	if err := s.fac.Factor(s.p.cols, s.basis); err != nil {
 		return nil, err
 	}
+	s.stats.Refactorizations++
 	s.recomputeXB()
 
 	// Phase 1: drive infeasibility to zero.
@@ -154,11 +184,29 @@ func (s *simplex) solve() (*Solution, error) {
 			return nil, ErrInfeasible
 		}
 	}
+	s.stats.Phase1Iterations = s.iter
 	// Phase 2: optimize the true objective.
 	if err := s.loop(false); err != nil {
 		return nil, err
 	}
 	return s.buildSolution(), nil
+}
+
+// checkInterrupt polls the context and the wall-clock deadline. The
+// returned errors are distinguishable: context cancellation wraps the
+// context's cause, a timeout wraps ErrTimeout.
+func (s *simplex) checkInterrupt() error {
+	if ctx := s.opts.Ctx; ctx != nil {
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("lp: solve interrupted after %d iterations: %w", s.iter, context.Cause(ctx))
+		default:
+		}
+	}
+	if !s.deadline.IsZero() && time.Now().After(s.deadline) {
+		return fmt.Errorf("%w: budget %v exhausted after %d iterations", ErrTimeout, s.opts.Timeout, s.iter)
+	}
+	return nil
 }
 
 // solveUnconstrained handles the degenerate m == 0 case.
@@ -187,6 +235,8 @@ func (s *simplex) solveUnconstrained() (*Solution, error) {
 		obj = -obj
 	}
 	sol.Objective = obj
+	s.stats.Wall = time.Since(s.start)
+	sol.Stats = s.stats
 	return sol, nil
 }
 
@@ -329,9 +379,11 @@ func (s *simplex) price(phase1 bool) (entering int, dir float64) {
 	if s.bland {
 		for j := 0; j < s.n; j++ {
 			if sc, dj := s.score(j, phase1); sc > tol {
+				s.stats.PricingScans += int64(j + 1)
 				return j, dj
 			}
 		}
+		s.stats.PricingScans += int64(s.n)
 		return -1, 0
 	}
 	section := s.opts.SectionSize
@@ -357,6 +409,7 @@ func (s *simplex) price(phase1 bool) (entering int, dir float64) {
 	if bestJ >= 0 {
 		s.priceStart = j
 	}
+	s.stats.PricingScans += int64(scanned)
 	return bestJ, bestDir
 }
 
@@ -432,6 +485,12 @@ func (s *simplex) loop(phase1 bool) error {
 		if s.iter >= s.opts.MaxIter {
 			return fmt.Errorf("%w after %d iterations", ErrIterLimit, s.iter)
 		}
+		if s.iter-s.lastCheck >= s.opts.CheckEvery {
+			s.lastCheck = s.iter
+			if err := s.checkInterrupt(); err != nil {
+				return err
+			}
+		}
 		if phase1 && s.infeasibility() <= s.opts.Tol {
 			return nil
 		}
@@ -466,7 +525,11 @@ func (s *simplex) loop(phase1 bool) error {
 		s.iter++
 		if ev.t <= s.opts.Tol {
 			s.degenerate++
+			s.stats.DegenerateSteps++
 			if s.degenerate >= s.opts.BlandAfter {
+				if !s.bland {
+					s.stats.BlandActivations++
+				}
 				s.bland = true
 			}
 		} else {
@@ -482,6 +545,7 @@ func (s *simplex) loop(phase1 bool) error {
 			}
 		}
 		if ev.pos < 0 {
+			s.stats.BoundFlips++
 			// Bound flip: the entering variable jumps to its other bound.
 			if s.status[q] == nonbasicLower {
 				s.status[q] = nonbasicUpper
@@ -514,16 +578,20 @@ func (s *simplex) loop(phase1 bool) error {
 			if err := s.fac.Factor(s.p.cols, s.basis); err != nil {
 				return err
 			}
+			s.stats.Refactorizations++
 			s.recomputeXB()
 		}
 	}
 }
 
 func (s *simplex) buildSolution() *Solution {
+	s.stats.Iterations = s.iter
+	s.stats.Wall = time.Since(s.start)
 	sol := &Solution{
 		X:          make([]float64, s.p.numStruct),
 		Duals:      make([]float64, s.m),
 		Iterations: s.iter,
+		Stats:      s.stats,
 	}
 	obj := 0.0
 	for j := 0; j < s.p.numStruct; j++ {

@@ -1,0 +1,46 @@
+package lp
+
+import "time"
+
+// Stats aggregates solver-effort counters for one solve. Callers that run
+// many solves (bound sweeps, Lagrangian subproblem loops) accumulate them
+// with Add. Everything except Wall is deterministic for a given problem
+// and option set, so aggregated counters can be compared across runs and
+// emitted into reproducible reports.
+type Stats struct {
+	// Iterations is the total simplex iteration count across both phases.
+	Iterations int
+	// Phase1Iterations is the share of Iterations spent driving out
+	// primal infeasibility before the true objective is optimized.
+	Phase1Iterations int
+	// Refactorizations counts full basis factorizations, including the
+	// initial one (everything else is a product-form eta update).
+	Refactorizations int
+	// DegenerateSteps counts iterations whose step length was (near) zero.
+	DegenerateSteps int
+	// BlandActivations counts transitions into Bland's anti-cycling rule
+	// after a run of degenerate iterations.
+	BlandActivations int
+	// BoundFlips counts nonbasic bound-to-bound moves (iterations that
+	// changed no basis column).
+	BoundFlips int
+	// PricingScans is the number of candidate columns examined by the
+	// pricing rule (partial pricing makes this much smaller than
+	// Iterations * columns).
+	PricingScans int64
+	// Wall is the wall-clock time of the solve. It is the only
+	// nondeterministic field.
+	Wall time.Duration
+}
+
+// Add accumulates other into s (counters and wall time sum).
+func (s *Stats) Add(other Stats) {
+	s.Iterations += other.Iterations
+	s.Phase1Iterations += other.Phase1Iterations
+	s.Refactorizations += other.Refactorizations
+	s.DegenerateSteps += other.DegenerateSteps
+	s.BlandActivations += other.BlandActivations
+	s.BoundFlips += other.BoundFlips
+	s.PricingScans += other.PricingScans
+	s.Wall += other.Wall
+}
