@@ -16,10 +16,10 @@ import (
 	"fmt"
 	"math"
 	"os"
-	"os/signal"
 	"strconv"
 	"strings"
 
+	"wideplace/internal/cli"
 	"wideplace/internal/experiments"
 	"wideplace/internal/topology"
 )
@@ -66,13 +66,8 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	var progress experiments.Progress
-	if *verbose {
-		progress = func(format string, args ...interface{}) {
-			fmt.Fprintf(os.Stderr, format+"\n", args...)
-		}
-	}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	progress := cli.Progress(*verbose, os.Stderr)
+	ctx, stop := cli.SignalContext(context.Background())
 	defer stop()
 	opts := experiments.Options{
 		Parallel:     *parallel,

@@ -8,29 +8,33 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
-	"os/signal"
 
+	"wideplace/internal/cli"
 	"wideplace/internal/experiments"
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "deploy:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("deploy", flag.ContinueOnError)
 	var (
-		workloadFlag = flag.String("workload", "web", "workload: web or group")
-		scaleFlag    = flag.String("scale", "small", "experiment scale: small, medium or large")
-		zetaFlag     = flag.Float64("zeta", 0, "node-opening cost (0 = scale preset)")
-		parallel     = flag.Int("parallel", 0, "concurrent bound solves in phase 2 (0 = GOMAXPROCS, 1 = serial)")
-		solveTimeout = flag.Duration("solve-timeout", 0, "wall-clock cap per LP solve (0 = unlimited)")
-		verbose      = flag.Bool("v", false, "print per-bound progress (incl. solver stats) to stderr")
+		workloadFlag = fs.String("workload", "web", "workload: web or group")
+		scaleFlag    = fs.String("scale", "small", "experiment scale: small, medium or large")
+		zetaFlag     = fs.Float64("zeta", 0, "node-opening cost (0 = scale preset)")
+		parallel     = fs.Int("parallel", 0, "concurrent bound solves in phase 2 (0 = GOMAXPROCS, 1 = serial)")
+		solveTimeout = fs.Duration("solve-timeout", 0, "wall-clock cap per LP solve (0 = unlimited)")
+		verbose      = fs.Bool("v", false, "print per-bound progress (incl. solver stats) to stderr")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	spec, err := experiments.NewSpec(experiments.WorkloadKind(*workloadFlag), experiments.Scale(*scaleFlag))
 	if err != nil {
@@ -43,23 +47,17 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	var progress experiments.Progress
-	if *verbose {
-		progress = func(format string, args ...interface{}) {
-			fmt.Fprintf(os.Stderr, format+"\n", args...)
-		}
-	}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := cli.SignalContext(context.Background())
 	defer stop()
 	res, err := experiments.Figure3(sys, experiments.Options{
 		Parallel:     *parallel,
 		SolveTimeout: *solveTimeout,
 		Ctx:          ctx,
-	}, progress)
+	}, cli.Progress(*verbose, os.Stderr))
 	if err != nil {
 		return err
 	}
-	fmt.Printf("# phase 1 (zeta=%g): deploy nodes at sites %v (%d of %d)\n",
+	fmt.Fprintf(stdout, "# phase 1 (zeta=%g): deploy nodes at sites %v (%d of %d)\n",
 		spec.Zeta, res.OpenNodes, len(res.OpenNodes), spec.Nodes)
-	return res.Figure.WriteTSV(os.Stdout)
+	return res.Figure.WriteTSV(stdout)
 }

@@ -1,0 +1,32 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunRejectsBadInput smoke-tests the flag/spec validation path; the
+// full methodology is exercised by internal/experiments and the bench
+// harness, so the binary test stays fast.
+func TestRunRejectsBadInput(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"unknown flag", []string{"-no-such-flag"}},
+		{"unknown scale", []string{"-scale", "galactic"}},
+		{"unknown workload", []string{"-workload", "mixed"}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var out bytes.Buffer
+			if err := run(c.args, &out); err == nil {
+				t.Fatalf("run(%v) succeeded; want error", c.args)
+			}
+			if out.Len() != 0 && !strings.HasPrefix(out.String(), "#") {
+				t.Fatalf("failed run wrote output: %q", out.String())
+			}
+		})
+	}
+}

@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -20,30 +21,33 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "mcperf:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("mcperf", flag.ContinueOnError)
 	var (
-		workloadFlag = flag.String("workload", "web", "workload: web or group")
-		nodes        = flag.Int("nodes", 10, "number of sites")
-		objects      = flag.Int("objects", 20, "number of objects")
-		requests     = flag.Int("requests", 5000, "total requests")
-		horizon      = flag.Duration("horizon", 8*time.Hour, "trace duration")
-		delta        = flag.Duration("delta", time.Hour, "evaluation interval")
-		seed         = flag.Uint64("seed", 1, "deterministic seed")
-		zipfS        = flag.Float64("zipf", 0, "WEB Zipf exponent (0 = default 1.0)")
-		classFlag    = flag.String("class", "general", "heuristic class name")
-		tqos         = flag.Float64("tqos", 0.95, "QoS goal fraction")
-		tlat         = flag.Float64("tlat", 150, "latency threshold (ms)")
-		avg          = flag.Float64("avg", 0, "average-latency goal in ms (overrides -tqos when > 0)")
-		skipRound    = flag.Bool("skip-rounding", false, "LP bound only")
-		runLength    = flag.Bool("runlength", false, "enable the run-length rounding optimization")
+		workloadFlag = fs.String("workload", "web", "workload: web or group")
+		nodes        = fs.Int("nodes", 10, "number of sites")
+		objects      = fs.Int("objects", 20, "number of objects")
+		requests     = fs.Int("requests", 5000, "total requests")
+		horizon      = fs.Duration("horizon", 8*time.Hour, "trace duration")
+		delta        = fs.Duration("delta", time.Hour, "evaluation interval")
+		seed         = fs.Uint64("seed", 1, "deterministic seed")
+		zipfS        = fs.Float64("zipf", 0, "WEB Zipf exponent (0 = default 1.0)")
+		classFlag    = fs.String("class", "general", "heuristic class name")
+		tqos         = fs.Float64("tqos", 0.95, "QoS goal fraction")
+		tlat         = fs.Float64("tlat", 150, "latency threshold (ms)")
+		avg          = fs.Float64("avg", 0, "average-latency goal in ms (overrides -tqos when > 0)")
+		skipRound    = fs.Bool("skip-rounding", false, "LP bound only")
+		runLength    = fs.Bool("runlength", false, "enable the run-length rounding optimization")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	topo, err := topology.Generate(topology.GenOptions{N: *nodes, Seed: *seed})
 	if err != nil {
@@ -78,7 +82,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	class, err := lookupClass(topo, *tlat, *classFlag)
+	class, err := core.ClassByName(topo, *tlat, *classFlag)
 	if err != nil {
 		return err
 	}
@@ -92,34 +96,19 @@ func run() error {
 	}
 	elapsed := time.Since(start)
 
-	fmt.Printf("instance:   %s workload, %d nodes, %d objects, %d requests, %d intervals of %v\n",
+	fmt.Fprintf(stdout, "instance:   %s workload, %d nodes, %d objects, %d requests, %d intervals of %v\n",
 		*workloadFlag, *nodes, *objects, len(trace.Accesses), counts.Intervals, *delta)
 	if goal.Kind == core.QoSGoal {
-		fmt.Printf("goal:       %.5g%% of each user's reads within %.0f ms\n", *tqos*100, *tlat)
+		fmt.Fprintf(stdout, "goal:       %.5g%% of each user's reads within %.0f ms\n", *tqos*100, *tlat)
 	} else {
-		fmt.Printf("goal:       average latency per user at most %.0f ms\n", *avg)
+		fmt.Fprintf(stdout, "goal:       average latency per user at most %.0f ms\n", *avg)
 	}
-	fmt.Printf("class:      %s\n", class.Name)
-	fmt.Printf("lower bound %.2f   (LP: %d variables, %d iterations)\n", b.LPBound, b.LPVariables, b.LPIterations)
+	fmt.Fprintf(stdout, "class:      %s\n", class.Name)
+	fmt.Fprintf(stdout, "lower bound %.2f   (LP: %d variables, %d iterations)\n", b.LPBound, b.LPVariables, b.LPIterations)
 	if !*skipRound && goal.Kind == core.QoSGoal {
-		fmt.Printf("feasible    %.2f   (rounding: %d up, %d down; gap %.1f%%)\n",
+		fmt.Fprintf(stdout, "feasible    %.2f   (rounding: %d up, %d down; gap %.1f%%)\n",
 			b.FeasibleCost, b.UpSteps, b.DownSteps, 100*b.Gap())
 	}
-	fmt.Printf("elapsed     %v\n", elapsed.Round(time.Millisecond))
+	fmt.Fprintf(stdout, "elapsed     %v\n", elapsed.Round(time.Millisecond))
 	return nil
-}
-
-// lookupClass resolves a class by its registry name.
-func lookupClass(topo *topology.Topology, tlat float64, name string) (*core.Class, error) {
-	candidates := append(core.Classes(topo, tlat), core.Reactive())
-	for _, c := range candidates {
-		if c.Name == name {
-			return c, nil
-		}
-	}
-	names := make([]string, 0, len(candidates))
-	for _, c := range candidates {
-		names = append(names, c.Name)
-	}
-	return nil, fmt.Errorf("unknown class %q; available: %v", name, names)
 }

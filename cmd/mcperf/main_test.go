@@ -1,0 +1,45 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunTinyInstance solves a deliberately tiny MC-PERF instance end to
+// end through the binary's run path.
+func TestRunTinyInstance(t *testing.T) {
+	var out bytes.Buffer
+	args := []string{
+		"-nodes", "5", "-objects", "5", "-requests", "400", "-horizon", "2h",
+		"-class", "general", "-tqos", "0.9", "-skip-rounding",
+	}
+	if err := run(args, &out); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	got := out.String()
+	for _, want := range []string{"class:      general", "lower bound"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"unknown flag", []string{"-frobnicate"}},
+		{"unknown workload", []string{"-workload", "cdn"}},
+		{"unknown class", []string{"-class", "clairvoyant"}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var out bytes.Buffer
+			if err := run(c.args, &out); err == nil {
+				t.Fatalf("run(%v) succeeded; want error", c.args)
+			}
+		})
+	}
+}

@@ -1,0 +1,108 @@
+// Command placementd is the long-running placement-advisory service: an
+// HTTP JSON API where clients POST placement questions (topology +
+// workload + heuristic classes + QoS goals) and poll for the per-class
+// lower bounds. Identical questions are deduplicated through a
+// content-addressed result cache; /metrics exposes queue, cache and
+// solver-effort counters in Prometheus text format.
+//
+// Usage:
+//
+//	placementd -addr :8080 -workers 2
+//	curl -XPOST localhost:8080/jobs -d '{"spec":{"workload":"web","scale":"small"}}'
+//	curl localhost:8080/jobs/j1
+//	curl localhost:8080/jobs/j1/result?format=tsv
+//
+// SIGTERM/SIGINT starts a graceful drain: in-flight jobs finish (up to
+// -drain-timeout), new submissions get 503.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"wideplace/internal/cli"
+	"wideplace/internal/server"
+)
+
+func main() {
+	ctx, stop := cli.SignalContext(context.Background())
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "placementd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, logw io.Writer) error {
+	fs := flag.NewFlagSet("placementd", flag.ContinueOnError)
+	fs.SetOutput(logw)
+	var (
+		addr         = fs.String("addr", ":8080", "listen address")
+		workers      = fs.Int("workers", 2, "concurrent jobs")
+		queueDepth   = fs.Int("queue", 64, "bounded job-queue depth")
+		parallel     = fs.Int("parallel", 0, "per-job sweep fan-out (0 = GOMAXPROCS)")
+		solveTimeout = fs.Duration("solve-timeout", 0, "default wall-clock cap per LP solve (0 = unlimited)")
+		checkEvery   = fs.Int("check-every", 0, "simplex cancellation poll interval in iterations (0 = solver default)")
+		maxJobs      = fs.Int("max-jobs", 1024, "retained finished jobs")
+		drainTimeout = fs.Duration("drain-timeout", time.Minute, "grace period for in-flight jobs on shutdown")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+
+	logger := log.New(logw, "placementd: ", log.LstdFlags)
+	srv := server.New(server.Config{
+		Workers:      *workers,
+		QueueDepth:   *queueDepth,
+		Parallel:     *parallel,
+		SolveTimeout: *solveTimeout,
+		CheckEvery:   *checkEvery,
+		MaxJobs:      *maxJobs,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	logger.Printf("listening on %s", ln.Addr())
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop accepting connections, then let queued and
+	// running jobs finish within the grace period; past it, in-flight
+	// solves are aborted at their next simplex poll.
+	logger.Printf("shutting down, draining jobs (grace %v)", *drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		logger.Printf("http shutdown: %v", err)
+	}
+	if err := srv.Drain(drainCtx); err != nil {
+		logger.Printf("drain incomplete, in-flight jobs aborted: %v", err)
+	} else {
+		logger.Printf("drained cleanly")
+	}
+	if err := <-serveErr; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer lets the test read logs while the server goroutine writes.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestRunStartsAndDrains boots the daemon on an ephemeral port, then
+// cancels its context and expects a clean drain.
+func TestRunStartsAndDrains(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var logs syncBuffer
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- run(ctx, []string{"-addr", "127.0.0.1:0", "-workers", "1", "-drain-timeout", "5s"}, &logs)
+	}()
+	// Let the listener come up, then trigger shutdown.
+	deadline := time.After(5 * time.Second)
+	for !strings.Contains(logs.String(), "listening on") {
+		select {
+		case err := <-errCh:
+			t.Fatalf("run exited early: %v\nlogs:\n%s", err, logs.String())
+		case <-deadline:
+			t.Fatalf("server never listened\nlogs:\n%s", logs.String())
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	cancel()
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("run: %v\nlogs:\n%s", err, logs.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("run did not drain\nlogs:\n%s", logs.String())
+	}
+	if !strings.Contains(logs.String(), "drained cleanly") {
+		t.Errorf("expected a clean drain, logs:\n%s", logs.String())
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"unknown flag", []string{"-no-such-flag"}},
+		{"positional args", []string{"extra"}},
+		{"malformed duration", []string{"-drain-timeout", "soon"}},
+		{"unlistenable addr", []string{"-addr", "256.0.0.1:bad"}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var logs bytes.Buffer
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			if err := run(ctx, c.args, &logs); err == nil {
+				t.Fatalf("run(%v) succeeded; want error", c.args)
+			}
+		})
+	}
+}

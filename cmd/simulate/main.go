@@ -8,28 +8,32 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
-	"os/signal"
 
+	"wideplace/internal/cli"
 	"wideplace/internal/experiments"
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "simulate:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("simulate", flag.ContinueOnError)
 	var (
-		workloadFlag = flag.String("workload", "web", "workload: web or group")
-		scaleFlag    = flag.String("scale", "small", "experiment scale: small, medium or large")
-		parallel     = flag.Int("parallel", 0, "concurrent cells (0 = GOMAXPROCS, 1 = serial)")
-		solveTimeout = flag.Duration("solve-timeout", 0, "wall-clock cap per LP solve (0 = unlimited)")
-		verbose      = flag.Bool("v", false, "print per-point progress to stderr")
+		workloadFlag = fs.String("workload", "web", "workload: web or group")
+		scaleFlag    = fs.String("scale", "small", "experiment scale: small, medium or large")
+		parallel     = fs.Int("parallel", 0, "concurrent cells (0 = GOMAXPROCS, 1 = serial)")
+		solveTimeout = fs.Duration("solve-timeout", 0, "wall-clock cap per LP solve (0 = unlimited)")
+		verbose      = fs.Bool("v", false, "print per-point progress to stderr")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	spec, err := experiments.NewSpec(experiments.WorkloadKind(*workloadFlag), experiments.Scale(*scaleFlag))
 	if err != nil {
@@ -39,36 +43,30 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	var progress experiments.Progress
-	if *verbose {
-		progress = func(format string, args ...interface{}) {
-			fmt.Fprintf(os.Stderr, format+"\n", args...)
-		}
-	}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := cli.SignalContext(context.Background())
 	defer stop()
 	res, err := experiments.Figure2(sys, experiments.Options{
 		Parallel:     *parallel,
 		SolveTimeout: *solveTimeout,
 		Ctx:          ctx,
-	}, progress)
+	}, cli.Progress(*verbose, os.Stderr))
 	if err != nil {
 		return err
 	}
-	fmt.Printf("# Figure 2 (%s): deployed heuristic cost vs class bound (nodes=%d objects=%d requests=%d)\n",
+	fmt.Fprintf(stdout, "# Figure 2 (%s): deployed heuristic cost vs class bound (nodes=%d objects=%d requests=%d)\n",
 		spec.Workload, spec.Nodes, spec.Objects, spec.Requests)
-	fmt.Println("qos\tclass_bound\tchosen_heuristic\tchosen_param\tlru_caching\tlru_param")
+	fmt.Fprintln(stdout, "qos\tclass_bound\tchosen_heuristic\tchosen_param\tlru_caching\tlru_param")
 	for i := range res.Bound {
-		fmt.Printf("%g", res.Bound[i].QoS*100)
+		fmt.Fprintf(stdout, "%g", res.Bound[i].QoS*100)
 		cell := func(infeasible bool, v float64) string {
 			if infeasible {
 				return "-"
 			}
 			return fmt.Sprintf("%.0f", v)
 		}
-		fmt.Printf("\t%s", cell(res.Bound[i].Infeasible, res.Bound[i].Bound))
-		fmt.Printf("\t%s\t%d", cell(res.Chosen[i].Infeasible, res.Chosen[i].Cost), res.Chosen[i].Param)
-		fmt.Printf("\t%s\t%d\n", cell(res.LRU[i].Infeasible, res.LRU[i].Cost), res.LRU[i].Param)
+		fmt.Fprintf(stdout, "\t%s", cell(res.Bound[i].Infeasible, res.Bound[i].Bound))
+		fmt.Fprintf(stdout, "\t%s\t%d", cell(res.Chosen[i].Infeasible, res.Chosen[i].Cost), res.Chosen[i].Param)
+		fmt.Fprintf(stdout, "\t%s\t%d\n", cell(res.LRU[i].Infeasible, res.LRU[i].Cost), res.LRU[i].Param)
 	}
 	return nil
 }

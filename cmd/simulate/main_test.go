@@ -1,0 +1,28 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestRunRejectsBadInput smoke-tests the flag/spec validation path; the
+// Figure 2 pipeline itself is covered by internal/experiments.
+func TestRunRejectsBadInput(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"unknown flag", []string{"-bogus"}},
+		{"unknown scale", []string{"-scale", "tiny"}},
+		{"unknown workload", []string{"-workload", "p2p"}},
+		{"malformed duration", []string{"-solve-timeout", "fast"}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var out bytes.Buffer
+			if err := run(c.args, &out); err == nil {
+				t.Fatalf("run(%v) succeeded; want error", c.args)
+			}
+		})
+	}
+}

@@ -14,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -22,29 +23,29 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "workload:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(args []string, stdout io.Writer) error {
 	if len(args) == 0 {
 		return fmt.Errorf("need a subcommand: gen-topology, gen-trace or describe")
 	}
 	switch args[0] {
 	case "gen-topology":
-		return genTopology(args[1:])
+		return genTopology(args[1:], stdout)
 	case "gen-trace":
-		return genTrace(args[1:])
+		return genTrace(args[1:], stdout)
 	case "describe":
-		return describe(args[1:])
+		return describe(args[1:], stdout)
 	default:
 		return fmt.Errorf("unknown subcommand %q", args[0])
 	}
 }
 
-func genTopology(args []string) error {
+func genTopology(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("gen-topology", flag.ContinueOnError)
 	nodes := fs.Int("nodes", 20, "number of sites")
 	seed := fs.Uint64("seed", 1, "deterministic seed")
@@ -59,10 +60,10 @@ func genTopology(args []string) error {
 	if err != nil {
 		return err
 	}
-	return topo.Write(os.Stdout)
+	return topo.Write(stdout)
 }
 
-func genTrace(args []string) error {
+func genTrace(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("gen-trace", flag.ContinueOnError)
 	kind := fs.String("workload", "web", "web or group")
 	nodes := fs.Int("nodes", 20, "number of sites")
@@ -97,10 +98,10 @@ func genTrace(args []string) error {
 	if *writes > 0 {
 		tr = workload.AddWrites(tr, *writes, *seed)
 	}
-	return tr.Write(os.Stdout)
+	return tr.Write(stdout)
 }
 
-func describe(args []string) error {
+func describe(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("describe", flag.ContinueOnError)
 	tracePath := fs.String("trace", "", "trace JSON to summarize")
 	topoPath := fs.String("topology", "", "topology JSON to summarize")
@@ -128,7 +129,7 @@ func describe(args []string) error {
 				within++
 			}
 		}
-		fmt.Printf("topology: %d sites, %d links, origin %d, diameter %.0f ms, %d sites within 150 ms of the origin\n",
+		fmt.Fprintf(stdout, "topology: %d sites, %d links, origin %d, diameter %.0f ms, %d sites within 150 ms of the origin\n",
 			topo.N, len(topo.Links), topo.Origin, topo.MaxLatency(), within)
 	}
 	if *tracePath != "" {
@@ -142,15 +143,15 @@ func describe(args []string) error {
 			return err
 		}
 		s := workload.Describe(tr)
-		fmt.Printf("trace: %d accesses (%d reads, %d writes) over %v, %d sites (%d active), %d objects\n",
+		fmt.Fprintf(stdout, "trace: %d accesses (%d reads, %d writes) over %v, %d sites (%d active), %d objects\n",
 			s.Requests, s.Reads, s.Writes, tr.Duration, tr.NumNodes, s.ActiveNodes, tr.NumObjects)
-		fmt.Printf("popularity: hottest object %d with %d accesses; coldest object %d with %d\n",
+		fmt.Fprintf(stdout, "popularity: hottest object %d with %d accesses; coldest object %d with %d\n",
 			s.HottestObj, s.HottestCount, s.ColdestObj, s.ColdestCount)
 		counts, err := tr.Bucket(*delta)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("intervals: %d of %v\n", counts.Intervals, *delta)
+		fmt.Fprintf(stdout, "intervals: %d of %v\n", counts.Intervals, *delta)
 	}
 	return nil
 }

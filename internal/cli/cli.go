@@ -1,0 +1,34 @@
+// Package cli holds small helpers shared by the command-line binaries:
+// signal-driven cancellation and the common progress writer.
+package cli
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"wideplace/internal/experiments"
+)
+
+// SignalContext returns a context that is canceled on SIGINT or SIGTERM.
+// The first signal cancels the context so in-flight work can drain (long
+// solves observe it at the next simplex poll); a second signal kills the
+// process through the default handler because stop() restores it only on
+// return. Callers must call the returned stop function.
+func SignalContext(parent context.Context) (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(parent, os.Interrupt, syscall.SIGTERM)
+}
+
+// Progress returns an experiments progress callback writing one line per
+// event to w, or nil when verbose is false (discarding all events).
+func Progress(verbose bool, w io.Writer) experiments.Progress {
+	if !verbose {
+		return nil
+	}
+	return func(format string, args ...interface{}) {
+		fmt.Fprintf(w, format+"\n", args...)
+	}
+}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"wideplace/internal/topology"
 )
 
@@ -93,6 +95,34 @@ func Classes(t *topology.Topology, tlat float64) []*Class {
 		CachingPrefetch(t),
 		CoopCachingPrefetch(t, tlat),
 	}
+}
+
+// ClassNames lists every class name resolvable by ClassByName, in registry
+// order. The list is static: class names do not depend on the topology.
+func ClassNames() []string {
+	return []string{
+		"general",
+		"storage-constrained",
+		"replica-constrained",
+		"decentral-local-routing",
+		"caching",
+		"coop-caching",
+		"caching-prefetch",
+		"coop-caching-prefetch",
+		"reactive",
+	}
+}
+
+// ClassByName resolves a class from the Table 3 registry (plus the reactive
+// class of Sec. 6.2) by name, materialized for a concrete topology and
+// latency threshold.
+func ClassByName(t *topology.Topology, tlat float64, name string) (*Class, error) {
+	for _, c := range append(Classes(t, tlat), Reactive()) {
+		if c.Name == name {
+			return c, nil
+		}
+	}
+	return nil, fmt.Errorf("core: unknown class %q; available: %v", name, ClassNames())
 }
 
 // StorageConstrained returns the class of centralized heuristics that use

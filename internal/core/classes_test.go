@@ -1,0 +1,49 @@
+package core
+
+import (
+	"testing"
+
+	"wideplace/internal/topology"
+)
+
+// TestClassNamesResolve checks the name registry the placement service
+// exposes: every advertised name resolves, resolution returns the class
+// with that name, and the list matches the Table 3 registry plus the
+// reactive class.
+func TestClassNamesResolve(t *testing.T) {
+	topo, err := topology.Generate(topology.GenOptions{N: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := ClassNames()
+	for _, name := range names {
+		c, err := ClassByName(topo, 150, name)
+		if err != nil {
+			t.Errorf("ClassByName(%q): %v", name, err)
+			continue
+		}
+		if c.Name != name {
+			t.Errorf("ClassByName(%q) returned class %q", name, c.Name)
+		}
+	}
+
+	registry := append(Classes(topo, 150), Reactive())
+	if len(names) != len(registry) {
+		t.Fatalf("ClassNames lists %d names, registry has %d classes", len(names), len(registry))
+	}
+	for i, c := range registry {
+		if names[i] != c.Name {
+			t.Errorf("name %d = %q, registry class is %q", i, names[i], c.Name)
+		}
+	}
+}
+
+func TestClassByNameUnknown(t *testing.T) {
+	topo, err := topology.Generate(topology.GenOptions{N: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ClassByName(topo, 150, "clairvoyant"); err == nil {
+		t.Error("unknown class name resolved")
+	}
+}

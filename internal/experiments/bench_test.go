@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+
+	"wideplace/internal/lp"
+)
+
+// benchSpec is the fixed instance every sweep benchmark runs: small
+// enough for CI, large enough that the LP dominates setup. Changing it
+// invalidates BENCH_sweep.json history.
+func benchSpec(tb testing.TB) *System {
+	spec, err := NewSpec(WEB, ScaleSmall)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	spec.Nodes = 8
+	spec.Objects = 10
+	spec.Requests = 2000
+	spec.Horizon = 4 * 3600e9
+	spec.QoSPoints = []float64{0.9, 0.95}
+	sys, err := Build(spec)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return sys
+}
+
+func benchSweep(b *testing.B, parallel int) {
+	sys := benchSpec(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Figure1(sys, Options{Parallel: parallel}, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSweepSerial(b *testing.B)   { benchSweep(b, 1) }
+func BenchmarkSweepParallel(b *testing.B) { benchSweep(b, 0) }
+
+// benchRecord is one line of BENCH_sweep.json: wall time per sweep plus
+// the sweep's deterministic solver-effort counters, so a perf regression
+// can be attributed (more iterations = algorithmic change, same
+// iterations but slower = implementation change).
+type benchRecord struct {
+	GoVersion  string `json:"goVersion"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Sweeps     []struct {
+		Name    string `json:"name"`
+		NsPerOp int64  `json:"nsPerOp"`
+		Runs    int    `json:"runs"`
+	} `json:"sweeps"`
+	Solver struct {
+		Cells            int   `json:"cells"`
+		Iterations       int   `json:"iterations"`
+		Phase1Iterations int   `json:"phase1Iterations"`
+		Refactorizations int   `json:"refactorizations"`
+		DegenerateSteps  int   `json:"degenerateSteps"`
+		BoundFlips       int   `json:"boundFlips"`
+		PricingScans     int64 `json:"pricingScans"`
+	} `json:"solver"`
+}
+
+// TestWriteBenchJSON regenerates BENCH_sweep.json when BENCH_JSON names
+// the output path (it is skipped in normal test runs):
+//
+//	BENCH_JSON=$PWD/BENCH_sweep.json go test ./internal/experiments -run TestWriteBenchJSON -v
+func TestWriteBenchJSON(t *testing.T) {
+	path := os.Getenv("BENCH_JSON")
+	if path == "" {
+		t.Skip("set BENCH_JSON=<path> to emit the sweep benchmark data point")
+	}
+	var rec benchRecord
+	rec.GoVersion = runtime.Version()
+	rec.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	for _, bench := range []struct {
+		name string
+		fn   func(*testing.B)
+	}{
+		{"SweepSerial", BenchmarkSweepSerial},
+		{"SweepParallel", BenchmarkSweepParallel},
+	} {
+		res := testing.Benchmark(bench.fn)
+		rec.Sweeps = append(rec.Sweeps, struct {
+			Name    string `json:"name"`
+			NsPerOp int64  `json:"nsPerOp"`
+			Runs    int    `json:"runs"`
+		}{bench.name, res.NsPerOp(), res.N})
+	}
+
+	// The counters are deterministic for the fixed spec, so they come
+	// from one additional serial sweep rather than the timed runs.
+	sys := benchSpec(t)
+	fig, err := Figure1(sys, Options{Parallel: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var agg lp.Stats
+	rec.Solver.Cells, agg = fig.SolverStats()
+	rec.Solver.Iterations = agg.Iterations
+	rec.Solver.Phase1Iterations = agg.Phase1Iterations
+	rec.Solver.Refactorizations = agg.Refactorizations
+	rec.Solver.DegenerateSteps = agg.DegenerateSteps
+	rec.Solver.BoundFlips = agg.BoundFlips
+	rec.Solver.PricingScans = agg.PricingScans
+
+	out, err := json.MarshalIndent(&rec, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", path)
+}

@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"time"
 
 	"wideplace/internal/core"
@@ -118,6 +119,32 @@ func NewSpec(kind WorkloadKind, scale Scale) (Spec, error) {
 	return s, nil
 }
 
+// CustomWorkload marks a System built from an externally supplied topology
+// and trace rather than a generated preset.
+const CustomWorkload WorkloadKind = "custom"
+
+// ValidateQoS rejects QoS point lists that the sweep cannot consume:
+// empty lists, non-finite values, values outside (0, 1] and duplicates.
+func ValidateQoS(points []float64) error {
+	if len(points) == 0 {
+		return errors.New("experiments: no QoS points")
+	}
+	seen := make(map[float64]bool, len(points))
+	for _, v := range points {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("experiments: QoS point %v is not a finite number", v)
+		}
+		if v <= 0 || v > 1 {
+			return fmt.Errorf("experiments: QoS point %g outside (0, 1]", v)
+		}
+		if seen[v] {
+			return fmt.Errorf("experiments: duplicate QoS point %g", v)
+		}
+		seen[v] = true
+	}
+	return nil
+}
+
 // System materializes the spec: topology, trace and bucketed counts.
 type System struct {
 	Spec   Spec
@@ -153,6 +180,41 @@ func Build(spec Spec) (*System, error) {
 	counts, err := trace.Bucket(spec.Delta)
 	if err != nil {
 		return nil, err
+	}
+	return &System{Spec: spec, Topo: topo, Trace: trace, Counts: counts}, nil
+}
+
+// NewSystem wraps an externally supplied topology and trace into a System
+// so the sweep engine can serve placement questions about systems it did
+// not generate (traces imported via workload.Read, topologies via
+// topology.Read). delta is the evaluation interval, tlat the latency
+// threshold in milliseconds and qos the goal levels to sweep.
+func NewSystem(topo *topology.Topology, trace *workload.Trace, delta time.Duration, tlat float64, qos []float64) (*System, error) {
+	if topo == nil || trace == nil {
+		return nil, errors.New("experiments: NewSystem needs a topology and a trace")
+	}
+	if topo.N != trace.NumNodes {
+		return nil, fmt.Errorf("experiments: topology has %d nodes, trace has %d", topo.N, trace.NumNodes)
+	}
+	if tlat <= 0 || math.IsNaN(tlat) || math.IsInf(tlat, 0) {
+		return nil, fmt.Errorf("experiments: latency threshold %v must be a positive number", tlat)
+	}
+	if err := ValidateQoS(qos); err != nil {
+		return nil, err
+	}
+	counts, err := trace.Bucket(delta)
+	if err != nil {
+		return nil, err
+	}
+	spec := Spec{
+		Workload:  CustomWorkload,
+		Nodes:     topo.N,
+		Objects:   trace.NumObjects,
+		Requests:  len(trace.Accesses),
+		Horizon:   trace.Duration,
+		Delta:     delta,
+		Tlat:      tlat,
+		QoSPoints: append([]float64(nil), qos...),
 	}
 	return &System{Spec: spec, Topo: topo, Trace: trace, Counts: counts}, nil
 }

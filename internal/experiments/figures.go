@@ -56,6 +56,23 @@ func Figure1(sys *System, opts Options, progress Progress) (*Figure, error) {
 		fmt.Sprintf("Figure 1 (%s): lower bounds per heuristic class", sys.Spec.Workload), opts, progress)
 }
 
+// Sweep computes the lower-bound grid for an explicit class list on an
+// arbitrary system — the job-friendly entry point behind the placement
+// service. It is exactly Figure 1 with a caller-chosen class set and
+// title; results are byte-identical across Parallel settings.
+func Sweep(sys *System, classes []*core.Class, title string, opts Options, progress Progress) (*Figure, error) {
+	if len(classes) == 0 {
+		return nil, fmt.Errorf("experiments: sweep needs at least one class")
+	}
+	if err := ValidateQoS(sys.Spec.QoSPoints); err != nil {
+		return nil, err
+	}
+	if title == "" {
+		title = fmt.Sprintf("sweep (%s): lower bounds per heuristic class", sys.Spec.Workload)
+	}
+	return boundFigure(sys, newInstanceCache(sys), classes, title, opts, progress)
+}
+
 // boundFigure sweeps the (class, QoS point) grid. Cells are independent
 // LP solves, so they fan out across opts.Parallel workers; each result is
 // slotted by its grid index, which keeps the figure byte-identical to a
@@ -70,6 +87,7 @@ func boundFigure(sys *System, cache *instanceCache, classes []*core.Class, title
 		points[c] = make([]Point, nQ)
 	}
 	progress = syncProgress(progress)
+	tick := opts.cellTicker(nC * nQ)
 	err := runCells(opts.context(), nC*nQ, opts.workers(nC*nQ), func(ctx context.Context, idx int) error {
 		c, qi := idx/nQ, idx%nQ
 		class, q := classes[c], qos[qi]
@@ -84,6 +102,7 @@ func boundFigure(sys *System, cache *instanceCache, classes []*core.Class, title
 		}
 		progress.logPoint(p, time.Since(start))
 		points[c][qi] = p
+		tick()
 		return nil
 	})
 	if err != nil {
@@ -148,9 +167,11 @@ func Figure2(sys *System, opts Options, progress Progress) (*Figure2Result, erro
 	progress = syncProgress(progress)
 	// Cell layout: 3 tasks per QoS point.
 	const tasks = 3
+	tick := opts.cellTicker(tasks * nQ)
 	err := runCells(opts.context(), tasks*nQ, opts.workers(tasks*nQ), func(ctx context.Context, idx int) error {
 		qi, task := idx/tasks, idx%tasks
 		q := qos[qi]
+		defer tick()
 		switch task {
 		case 0:
 			inst, err := cache.get(q)

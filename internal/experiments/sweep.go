@@ -25,6 +25,11 @@ type Options struct {
 	SolveTimeout time.Duration
 	// Ctx cancels the whole sweep (nil = context.Background()).
 	Ctx context.Context
+	// OnCell, when non-nil, receives (done, total) after every completed
+	// sweep cell. Calls are serialized and done is strictly increasing, so
+	// long-running callers (the placement service) can expose it as a
+	// progress gauge without extra locking.
+	OnCell func(done, total int)
 }
 
 // workers resolves the worker count for n cells.
@@ -59,6 +64,25 @@ func (o Options) boundOptions(ctx context.Context) core.BoundOptions {
 		b.LP.Timeout = o.SolveTimeout
 	}
 	return b
+}
+
+// cellTicker returns a completion callback for a sweep of total cells:
+// each invocation bumps the done counter and forwards it to OnCell. The
+// returned function is safe to call from concurrent workers.
+func (o Options) cellTicker(total int) func() {
+	if o.OnCell == nil {
+		return func() {}
+	}
+	var (
+		mu   sync.Mutex
+		done int
+	)
+	return func() {
+		mu.Lock()
+		defer mu.Unlock()
+		done++
+		o.OnCell(done, total)
+	}
 }
 
 // instanceCache builds each per-QoS MC-PERF instance exactly once and

@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"wideplace/internal/core"
+	"wideplace/internal/topology"
+	"wideplace/internal/workload"
+)
+
+func tinySystemInputs(t *testing.T) (*topology.Topology, *workload.Trace) {
+	t.Helper()
+	topo, err := topology.Generate(topology.GenOptions{N: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, err := workload.GenerateWeb(workload.WebOptions{
+		Nodes: 4, Objects: 3, Requests: 200, Duration: 2 * time.Hour, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo, trace
+}
+
+func TestValidateQoS(t *testing.T) {
+	if err := ValidateQoS([]float64{0.9, 0.95, 1}); err != nil {
+		t.Errorf("valid points rejected: %v", err)
+	}
+	for name, pts := range map[string][]float64{
+		"empty":     nil,
+		"zero":      {0},
+		"negative":  {-0.5},
+		"above one": {1.01},
+		"NaN":       {math.NaN()},
+		"infinite":  {math.Inf(1)},
+		"duplicate": {0.9, 0.9},
+	} {
+		if err := ValidateQoS(pts); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestNewSystemValidation(t *testing.T) {
+	topo, trace := tinySystemInputs(t)
+	qos := []float64{0.9}
+	if _, err := NewSystem(nil, trace, time.Hour, 150, qos); err == nil {
+		t.Error("nil topology accepted")
+	}
+	if _, err := NewSystem(topo, nil, time.Hour, 150, qos); err == nil {
+		t.Error("nil trace accepted")
+	}
+	small, err := topology.Generate(topology.GenOptions{N: 3, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSystem(small, trace, time.Hour, 150, qos); err == nil {
+		t.Error("node-count mismatch accepted")
+	}
+	if _, err := NewSystem(topo, trace, 0, 150, qos); err == nil {
+		t.Error("zero delta accepted")
+	}
+	for _, tlat := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if _, err := NewSystem(topo, trace, time.Hour, tlat, qos); err == nil {
+			t.Errorf("tlat %v accepted", tlat)
+		}
+	}
+	if _, err := NewSystem(topo, trace, time.Hour, 150, nil); err == nil {
+		t.Error("empty QoS accepted")
+	}
+}
+
+// TestNewSystemSweepWithProgress runs an explicit system through the
+// exported Sweep and checks the OnCell progress callback: monotone done
+// counts, a constant total, and a final count equal to the grid size.
+func TestNewSystemSweepWithProgress(t *testing.T) {
+	topo, trace := tinySystemInputs(t)
+	sys, err := NewSystem(topo, trace, time.Hour, 150, []float64{0.8, 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Spec.Workload != CustomWorkload {
+		t.Errorf("workload = %q, want %q", sys.Spec.Workload, CustomWorkload)
+	}
+	if sys.Spec.Nodes != 4 || sys.Spec.Objects != 3 || sys.Spec.Requests != 200 {
+		t.Errorf("spec provenance %+v does not match inputs", sys.Spec)
+	}
+
+	classes := []*core.Class{core.General(), core.Caching(topo)}
+	var (
+		mu    sync.Mutex
+		calls []int
+		total int
+	)
+	opts := Options{Parallel: 2, OnCell: func(done, tot int) {
+		mu.Lock()
+		defer mu.Unlock()
+		calls = append(calls, done)
+		total = tot
+	}}
+	fig, err := Sweep(sys, classes, "", opts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 2 || len(fig.Series[0].Points) != 2 {
+		t.Fatalf("unexpected figure shape: %+v", fig.Series)
+	}
+	if fig.Title == "" {
+		t.Error("default title not applied")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if total != 4 || len(calls) != 4 {
+		t.Fatalf("progress calls %v (total %d), want 4 calls with total 4", calls, total)
+	}
+	for i, d := range calls {
+		if d != i+1 {
+			t.Fatalf("done counts %v not monotone 1..4", calls)
+		}
+	}
+}
+
+func TestSweepRejectsEmptyClasses(t *testing.T) {
+	topo, trace := tinySystemInputs(t)
+	sys, err := NewSystem(topo, trace, time.Hour, 150, []float64{0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Sweep(sys, nil, "", Options{}, nil); err == nil {
+		t.Error("empty class list accepted")
+	}
+}

@@ -1,6 +1,9 @@
 package lp
 
-import "time"
+import (
+	"sync"
+	"time"
+)
 
 // Stats aggregates solver-effort counters for one solve. Callers that run
 // many solves (bound sweeps, Lagrangian subproblem loops) accumulate them
@@ -43,4 +46,29 @@ func (s *Stats) Add(other Stats) {
 	s.BoundFlips += other.BoundFlips
 	s.PricingScans += other.PricingScans
 	s.Wall += other.Wall
+}
+
+// StatsCollector accumulates Stats from concurrently completing solves.
+// Long-running processes (the placement service) record every solve into
+// one collector and export the running totals as monotonic counters.
+// The zero value is ready to use.
+type StatsCollector struct {
+	mu     sync.Mutex
+	solves int
+	total  Stats
+}
+
+// Record adds one solve's stats to the running totals.
+func (c *StatsCollector) Record(s Stats) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.solves++
+	c.total.Add(s)
+}
+
+// Snapshot returns the number of recorded solves and the summed stats.
+func (c *StatsCollector) Snapshot() (solves int, total Stats) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.solves, c.total
 }

@@ -1,0 +1,43 @@
+package lp
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestStatsCollector checks that the zero value is usable and that
+// concurrent Record calls aggregate without loss.
+func TestStatsCollector(t *testing.T) {
+	var c StatsCollector
+	if n, total := c.Snapshot(); n != 0 || total.Iterations != 0 {
+		t.Fatalf("zero collector reports %d solves, %+v", n, total)
+	}
+
+	const workers, each = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				c.Record(Stats{Iterations: 3, PricingScans: 2, Wall: time.Millisecond})
+			}
+		}()
+	}
+	wg.Wait()
+
+	n, total := c.Snapshot()
+	if n != workers*each {
+		t.Errorf("solves = %d, want %d", n, workers*each)
+	}
+	if total.Iterations != 3*workers*each {
+		t.Errorf("iterations = %d, want %d", total.Iterations, 3*workers*each)
+	}
+	if total.PricingScans != 2*workers*each {
+		t.Errorf("pricing scans = %d, want %d", total.PricingScans, 2*workers*each)
+	}
+	if total.Wall != time.Duration(workers*each)*time.Millisecond {
+		t.Errorf("wall = %v, want %v", total.Wall, time.Duration(workers*each)*time.Millisecond)
+	}
+}

@@ -1,0 +1,47 @@
+package server
+
+// resultCache content-addresses jobs by the canonical hash of their
+// request. It deduplicates both finished results and in-flight work: a
+// submission whose key maps to a queued/running job attaches to that job
+// (one solve, many clients), and one whose key maps to a done job gets
+// the result instantly. Failed and canceled jobs are evicted by the
+// worker so a retry resubmits. Guarded by the server mutex.
+type resultCache struct {
+	byKey map[string]*Job
+}
+
+func newResultCache() *resultCache {
+	return &resultCache{byKey: make(map[string]*Job)}
+}
+
+// lookup returns the live job for a key, dropping entries whose job has
+// since failed or been canceled.
+func (c *resultCache) lookup(key string) (*Job, bool) {
+	j, ok := c.byKey[key]
+	if !ok {
+		return nil, false
+	}
+	if st := j.State(); st == StateFailed || st == StateCanceled {
+		delete(c.byKey, key)
+		return nil, false
+	}
+	return j, true
+}
+
+// put maps a key to its job.
+func (c *resultCache) put(key string, j *Job) {
+	c.byKey[key] = j
+}
+
+// drop removes the mapping only if it still points at j (a newer job for
+// the same key must not be evicted by a stale worker).
+func (c *resultCache) drop(key string, j *Job) {
+	if c.byKey[key] == j {
+		delete(c.byKey, key)
+	}
+}
+
+// len reports the number of cached entries.
+func (c *resultCache) len() int {
+	return len(c.byKey)
+}

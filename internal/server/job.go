@@ -1,0 +1,444 @@
+package server
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"wideplace/internal/core"
+	"wideplace/internal/experiments"
+	"wideplace/internal/topology"
+	"wideplace/internal/workload"
+)
+
+// JobState is the lifecycle state of a placement job.
+type JobState string
+
+// Job lifecycle states. queued -> running -> done|failed|canceled; a
+// queued job may also move straight to canceled.
+const (
+	StateQueued   JobState = "queued"
+	StateRunning  JobState = "running"
+	StateDone     JobState = "done"
+	StateFailed   JobState = "failed"
+	StateCanceled JobState = "canceled"
+)
+
+// States lists every job state; the metrics endpoint exports one gauge
+// per state so absent states read as explicit zeros.
+func States() []JobState {
+	return []JobState{StateQueued, StateRunning, StateDone, StateFailed, StateCanceled}
+}
+
+// terminal reports whether a state is final.
+func (s JobState) terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// SpecRequest selects a generated preset system (the paper's evaluation
+// setups), with optional field overrides. Zero-valued fields keep the
+// preset's value.
+type SpecRequest struct {
+	// Workload is "web" or "group".
+	Workload string `json:"workload"`
+	// Scale is "small", "medium" or "large".
+	Scale string `json:"scale"`
+	// Overrides (0 = keep the preset value; negatives are rejected).
+	Nodes         int       `json:"nodes,omitempty"`
+	Objects       int       `json:"objects,omitempty"`
+	Requests      int       `json:"requests,omitempty"`
+	HorizonMillis int64     `json:"horizonMillis,omitempty"`
+	DeltaMillis   int64     `json:"deltaMillis,omitempty"`
+	Seed          uint64    `json:"seed,omitempty"`
+	ZipfS         float64   `json:"zipfS,omitempty"`
+	Tlat          float64   `json:"tlat,omitempty"`
+	QoS           []float64 `json:"qos,omitempty"`
+}
+
+// JobRequest is the body of POST /jobs: a placement question. The system
+// under analysis is stated either as a preset spec or as an explicit
+// topology + trace (the same JSON the cmd/workload tool emits); the
+// class list defaults to the paper's Figure 1 set.
+type JobRequest struct {
+	// Spec selects a generated preset system. Mutually exclusive with
+	// Topology/Trace.
+	Spec *SpecRequest `json:"spec,omitempty"`
+	// Topology and Trace state an explicit system.
+	Topology *topology.Topology `json:"topology,omitempty"`
+	Trace    *workload.Trace    `json:"trace,omitempty"`
+	// DeltaMillis is the evaluation interval for an explicit system.
+	DeltaMillis int64 `json:"deltaMillis,omitempty"`
+	// Tlat is the latency threshold in ms for an explicit system
+	// (default 150, the paper's threshold).
+	Tlat float64 `json:"tlat,omitempty"`
+	// QoS are the goal levels to sweep for an explicit system.
+	QoS []float64 `json:"qos,omitempty"`
+	// Classes are the heuristic classes to bound (see core.ClassNames);
+	// empty means the Figure 1 default set.
+	Classes []string `json:"classes,omitempty"`
+	// SolveTimeoutMillis caps each LP solve's wall clock (0 = server
+	// default).
+	SolveTimeoutMillis int64 `json:"solveTimeoutMillis,omitempty"`
+}
+
+// jobPlan is a validated, canonicalized request: everything a worker
+// needs to build and run the sweep, plus the content-address key.
+type jobPlan struct {
+	// spec form (custom == false)
+	spec experiments.Spec
+	// explicit form (custom == true)
+	custom bool
+	topo   *topology.Topology
+	trace  *workload.Trace
+	delta  time.Duration
+	tlat   float64
+	qos    []float64
+
+	classes      []string // empty = Figure 1 default set
+	solveTimeout time.Duration
+	key          string
+}
+
+// jobKey is the canonical form hashed into a job's content address. Field
+// order is fixed and every member marshals deterministically, so two
+// requests asking the same question hash identically regardless of their
+// JSON spelling (field order, omitted defaults, whitespace).
+type jobKey struct {
+	Spec         *experiments.Spec  `json:"spec,omitempty"`
+	Topology     *topology.Topology `json:"topology,omitempty"`
+	Trace        *workload.Trace    `json:"trace,omitempty"`
+	Delta        time.Duration      `json:"delta,omitempty"`
+	Tlat         float64            `json:"tlat,omitempty"`
+	QoS          []float64          `json:"qos,omitempty"`
+	Classes      []string           `json:"classes,omitempty"`
+	SolveTimeout time.Duration      `json:"solveTimeout,omitempty"`
+}
+
+// errBadRequest wraps validation failures so handlers map them to 400.
+var errBadRequest = errors.New("bad request")
+
+func badRequestf(format string, args ...interface{}) error {
+	return fmt.Errorf("%w: %s", errBadRequest, fmt.Sprintf(format, args...))
+}
+
+// compile validates a request and resolves it into a plan. Every
+// rejection wraps errBadRequest; nothing here may panic on user input.
+func compile(req *JobRequest) (*jobPlan, error) {
+	if req == nil {
+		return nil, badRequestf("empty request")
+	}
+	custom := req.Topology != nil || req.Trace != nil
+	if req.Spec != nil && custom {
+		return nil, badRequestf("state either spec or topology+trace, not both")
+	}
+	if req.Spec == nil && !custom {
+		return nil, badRequestf("state a spec or an explicit topology+trace")
+	}
+	p := &jobPlan{}
+	if req.Spec != nil {
+		spec, err := compileSpec(req.Spec)
+		if err != nil {
+			return nil, err
+		}
+		p.spec = spec
+	} else {
+		if req.Topology == nil || req.Trace == nil {
+			return nil, badRequestf("an explicit system needs both topology and trace")
+		}
+		if req.Topology.N != req.Trace.NumNodes {
+			return nil, badRequestf("topology has %d nodes, trace has %d", req.Topology.N, req.Trace.NumNodes)
+		}
+		if req.DeltaMillis <= 0 {
+			return nil, badRequestf("deltaMillis must be positive for an explicit system")
+		}
+		tlat := req.Tlat
+		if tlat == 0 {
+			tlat = 150
+		}
+		if tlat < 0 {
+			return nil, badRequestf("tlat %g must be positive", tlat)
+		}
+		if err := experiments.ValidateQoS(req.QoS); err != nil {
+			return nil, fmt.Errorf("%w: %v", errBadRequest, err)
+		}
+		p.custom = true
+		p.topo = req.Topology
+		p.trace = req.Trace
+		p.delta = time.Duration(req.DeltaMillis) * time.Millisecond
+		p.tlat = tlat
+		p.qos = append([]float64(nil), req.QoS...)
+	}
+	known := make(map[string]bool)
+	for _, n := range core.ClassNames() {
+		known[n] = true
+	}
+	seen := make(map[string]bool)
+	for _, c := range req.Classes {
+		if !known[c] {
+			return nil, badRequestf("unknown class %q; available: %v", c, core.ClassNames())
+		}
+		if seen[c] {
+			return nil, badRequestf("duplicate class %q", c)
+		}
+		seen[c] = true
+	}
+	p.classes = append([]string(nil), req.Classes...)
+	if req.SolveTimeoutMillis < 0 {
+		return nil, badRequestf("solveTimeoutMillis must not be negative")
+	}
+	p.solveTimeout = time.Duration(req.SolveTimeoutMillis) * time.Millisecond
+	key, err := p.hash()
+	if err != nil {
+		return nil, fmt.Errorf("hash request: %w", err)
+	}
+	p.key = key
+	return p, nil
+}
+
+// compileSpec resolves a preset spec request with its overrides applied.
+func compileSpec(sp *SpecRequest) (experiments.Spec, error) {
+	var zero experiments.Spec
+	kind := experiments.WorkloadKind(sp.Workload)
+	if kind != experiments.WEB && kind != experiments.GROUP {
+		return zero, badRequestf("unknown workload %q (want web or group)", sp.Workload)
+	}
+	spec, err := experiments.NewSpec(kind, experiments.Scale(sp.Scale))
+	if err != nil {
+		return zero, fmt.Errorf("%w: %v", errBadRequest, err)
+	}
+	for _, f := range []struct {
+		name string
+		v    int64
+	}{
+		{"nodes", int64(sp.Nodes)}, {"objects", int64(sp.Objects)},
+		{"requests", int64(sp.Requests)}, {"horizonMillis", sp.HorizonMillis},
+		{"deltaMillis", sp.DeltaMillis},
+	} {
+		if f.v < 0 {
+			return zero, badRequestf("%s must not be negative", f.name)
+		}
+	}
+	if sp.ZipfS < 0 || sp.Tlat < 0 {
+		return zero, badRequestf("zipfS and tlat must not be negative")
+	}
+	if sp.Nodes > 0 {
+		spec.Nodes = sp.Nodes
+	}
+	if sp.Objects > 0 {
+		spec.Objects = sp.Objects
+	}
+	if sp.Requests > 0 {
+		spec.Requests = sp.Requests
+	}
+	if sp.HorizonMillis > 0 {
+		spec.Horizon = time.Duration(sp.HorizonMillis) * time.Millisecond
+	}
+	if sp.DeltaMillis > 0 {
+		spec.Delta = time.Duration(sp.DeltaMillis) * time.Millisecond
+	}
+	if sp.Seed > 0 {
+		spec.Seed = sp.Seed
+	}
+	if sp.ZipfS > 0 {
+		spec.ZipfS = sp.ZipfS
+	}
+	if sp.Tlat > 0 {
+		spec.Tlat = sp.Tlat
+	}
+	if len(sp.QoS) > 0 {
+		if err := experiments.ValidateQoS(sp.QoS); err != nil {
+			return zero, fmt.Errorf("%w: %v", errBadRequest, err)
+		}
+		spec.QoSPoints = append([]float64(nil), sp.QoS...)
+	}
+	return spec, nil
+}
+
+// hash derives the content address of the plan.
+func (p *jobPlan) hash() (string, error) {
+	k := jobKey{
+		QoS:          p.qos,
+		Classes:      p.classes,
+		SolveTimeout: p.solveTimeout,
+	}
+	if p.custom {
+		k.Topology = p.topo
+		k.Trace = p.trace
+		k.Delta = p.delta
+		k.Tlat = p.tlat
+	} else {
+		spec := p.spec
+		k.Spec = &spec
+	}
+	raw, err := json.Marshal(&k)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(raw)
+	return "sha256:" + hex.EncodeToString(sum[:]), nil
+}
+
+// buildSystem materializes the plan's system (worker-side: generating a
+// preset trace or bucketing an explicit one is too heavy for submit).
+func (p *jobPlan) buildSystem() (*experiments.System, error) {
+	if p.custom {
+		return experiments.NewSystem(p.topo, p.trace, p.delta, p.tlat, p.qos)
+	}
+	return experiments.Build(p.spec)
+}
+
+// run executes the sweep. An empty class list runs the Figure 1 set, so
+// spec-form results are byte-identical to the cmd/bounds TSV.
+func (p *jobPlan) run(sys *experiments.System, opts experiments.Options) (*experiments.Figure, error) {
+	if len(p.classes) == 0 {
+		return experiments.Figure1(sys, opts, nil)
+	}
+	classes := make([]*core.Class, len(p.classes))
+	for i, name := range p.classes {
+		c, err := core.ClassByName(sys.Topo, sys.Spec.Tlat, name)
+		if err != nil {
+			return nil, err
+		}
+		classes[i] = c
+	}
+	return experiments.Sweep(sys, classes, "", opts, nil)
+}
+
+// Job is one placement question moving through the service.
+type Job struct {
+	id   string
+	key  string
+	plan *jobPlan
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu         sync.Mutex
+	state      JobState
+	created    time.Time
+	started    time.Time
+	finished   time.Time
+	cellsDone  int
+	cellsTotal int
+	errMsg     string
+	fig        *experiments.Figure
+}
+
+// JobView is the JSON representation of a job's status.
+type JobView struct {
+	ID         string     `json:"id"`
+	Key        string     `json:"key"`
+	State      JobState   `json:"state"`
+	CellsDone  int        `json:"cellsDone"`
+	CellsTotal int        `json:"cellsTotal"`
+	Created    time.Time  `json:"createdAt"`
+	Started    *time.Time `json:"startedAt,omitempty"`
+	Finished   *time.Time `json:"finishedAt,omitempty"`
+	Error      string     `json:"error,omitempty"`
+	// Cached marks a submit response served from the result cache.
+	Cached bool `json:"cached,omitempty"`
+}
+
+// View snapshots the job for serialization.
+func (j *Job) View() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := JobView{
+		ID: j.id, Key: j.key, State: j.state,
+		CellsDone: j.cellsDone, CellsTotal: j.cellsTotal,
+		Created: j.created, Error: j.errMsg,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		v.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		v.Finished = &t
+	}
+	return v
+}
+
+// State returns the job's current state.
+func (j *Job) State() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Result returns the finished figure, or nil while the job is not done.
+func (j *Job) Result() *experiments.Figure {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateDone {
+		return nil
+	}
+	return j.fig
+}
+
+// setRunning moves queued -> running; false means the job was canceled
+// while queued and must not run.
+func (j *Job) setRunning(now time.Time) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
+	j.state = StateRunning
+	j.started = now
+	return true
+}
+
+// setProgress records sweep progress (serialized by the sweep engine).
+func (j *Job) setProgress(done, total int) {
+	j.mu.Lock()
+	j.cellsDone, j.cellsTotal = done, total
+	j.mu.Unlock()
+}
+
+// finish records the outcome: done on success, canceled when the job's
+// context was canceled, failed otherwise.
+func (j *Job) finish(fig *experiments.Figure, err error, now time.Time) JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.finished = now
+	switch {
+	case err == nil:
+		j.state = StateDone
+		j.fig = fig
+	case j.ctx.Err() != nil:
+		j.state = StateCanceled
+		j.errMsg = "canceled"
+	default:
+		j.state = StateFailed
+		j.errMsg = err.Error()
+	}
+	return j.state
+}
+
+// requestCancel cancels the job. A queued job is finalized immediately; a
+// running job's context is canceled and the worker finalizes it at the
+// next simplex poll. Returns the resulting state and whether the request
+// was accepted (false for already-terminal jobs).
+func (j *Job) requestCancel(now time.Time) (JobState, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch j.state {
+	case StateQueued:
+		j.state = StateCanceled
+		j.errMsg = "canceled"
+		j.finished = now
+		j.cancel()
+		return j.state, true
+	case StateRunning:
+		j.cancel()
+		return j.state, true
+	default:
+		return j.state, false
+	}
+}

@@ -1,0 +1,88 @@
+package server
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"wideplace/internal/lp"
+)
+
+func TestHistogramCumulativeBuckets(t *testing.T) {
+	h := histogram{bounds: []float64{1, 5, 15}}
+	for _, v := range []float64{0.2, 0.7, 3, 100} {
+		h.observe(v)
+	}
+	bounds, cum, sum, count := h.snapshot()
+	if len(bounds) != 3 {
+		t.Fatalf("bounds = %v", bounds)
+	}
+	// Prometheus buckets are cumulative: le=1 holds 2, le=5 holds 3; the
+	// 100 lands only in the implicit +Inf bucket (the total count).
+	if cum[0] != 2 || cum[1] != 3 || cum[2] != 3 {
+		t.Errorf("cumulative counts = %v, want [2 3 3]", cum)
+	}
+	if count != 4 {
+		t.Errorf("count = %d, want 4", count)
+	}
+	if want := 0.2 + 0.7 + 3 + 100; sum != want {
+		t.Errorf("sum = %g, want %g", sum, want)
+	}
+}
+
+func TestMetricsExposition(t *testing.T) {
+	m := newMetrics()
+	m.submitted.Add(3)
+	m.cacheHits.Add(1)
+	m.cacheMisses.Add(2)
+	m.jobsDone.Add(2)
+	m.duration.observe(0.3)
+	m.duration.observe(12)
+	g := gaugeSet{
+		queueDepth:  1,
+		jobsByState: map[JobState]int{StateRunning: 1, StateDone: 2},
+		cacheSize:   2,
+	}
+	total := lp.Stats{Iterations: 1234, Wall: 1500 * time.Millisecond}
+
+	var buf bytes.Buffer
+	if err := m.write(&buf, g, 7, total); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"placementd_jobs_submitted_total 3",
+		"placementd_cache_hits_total 1",
+		"placementd_cache_misses_total 2",
+		`placementd_jobs_finished_total{state="done"} 2`,
+		`placementd_jobs_finished_total{state="failed"} 0`,
+		"placementd_queue_depth 1",
+		"placementd_cache_entries 2",
+		`placementd_jobs{state="running"} 1`,
+		`placementd_jobs{state="queued"} 0`,
+		"placementd_lp_solves_total 7",
+		"placementd_lp_iterations_total 1234",
+		"placementd_lp_wall_seconds_total 1.5",
+		`placementd_job_duration_seconds_bucket{le="0.5"} 1`,
+		`placementd_job_duration_seconds_bucket{le="15"} 2`,
+		`placementd_job_duration_seconds_bucket{le="+Inf"} 2`,
+		"placementd_job_duration_seconds_count 2",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	// Every family needs HELP and TYPE lines to be scrapable.
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name := line[:strings.IndexAny(line, "{ ")]
+		base := strings.TrimSuffix(strings.TrimSuffix(name, "_bucket"), "_sum")
+		base = strings.TrimSuffix(base, "_count")
+		if !strings.Contains(text, "# TYPE "+base+" ") {
+			t.Errorf("sample %q has no TYPE line for %q", line, base)
+		}
+	}
+}

@@ -6,13 +6,15 @@ import (
 	"io"
 )
 
-// topologyJSON is the on-disk form of a Topology: only the inputs are
-// stored; the latency matrix is recomputed on load so files stay small and
-// cannot go out of sync.
+// topologyJSON is the on-disk form of a Topology. A topology is stated
+// either as links (the latency matrix is recomputed on load so files stay
+// small and cannot go out of sync) or as an explicit all-pairs
+// latencyMillis matrix for measured networks; stating both is an error.
 type topologyJSON struct {
-	Nodes  int        `json:"nodes"`
-	Origin int        `json:"origin"`
-	Links  []linkJSON `json:"links"`
+	Nodes   int         `json:"nodes"`
+	Origin  int         `json:"origin"`
+	Links   []linkJSON  `json:"links,omitempty"`
+	Latency [][]float64 `json:"latencyMillis,omitempty"`
 }
 
 type linkJSON struct {
@@ -21,21 +23,41 @@ type linkJSON struct {
 	LatencyMS float64 `json:"latencyMillis"`
 }
 
-// MarshalJSON implements json.Marshaler.
+// MarshalJSON implements json.Marshaler. Link-built topologies round-trip
+// through their links; matrix-built topologies (no links) emit the matrix.
 func (t *Topology) MarshalJSON() ([]byte, error) {
 	out := topologyJSON{Nodes: t.N, Origin: t.Origin}
+	if len(t.Links) == 0 {
+		out.Latency = t.Latency
+	}
 	for _, l := range t.Links {
 		out.Links = append(out.Links, linkJSON{A: l.A, B: l.B, LatencyMS: l.Latency})
 	}
 	return json.Marshal(out)
 }
 
-// UnmarshalJSON implements json.Unmarshaler, revalidating and recomputing
-// shortest paths.
+// UnmarshalJSON implements json.Unmarshaler, revalidating every input (bad
+// files and requests must fail the decode, never panic a consumer):
+// latencies must be finite and non-negative, link endpoints and the origin
+// in range, an explicit matrix square and consistent with the node count.
 func (t *Topology) UnmarshalJSON(data []byte) error {
 	var in topologyJSON
 	if err := json.Unmarshal(data, &in); err != nil {
 		return fmt.Errorf("topology: decode: %w", err)
+	}
+	if len(in.Latency) > 0 {
+		if len(in.Links) > 0 {
+			return fmt.Errorf("topology: both links and latencyMillis given; state one")
+		}
+		if in.Nodes != 0 && in.Nodes != len(in.Latency) {
+			return fmt.Errorf("topology: nodes = %d but latencyMillis is %dx%d", in.Nodes, len(in.Latency), len(in.Latency))
+		}
+		built, err := NewFromMatrix(in.Latency, in.Origin)
+		if err != nil {
+			return err
+		}
+		*t = *built
+		return nil
 	}
 	links := make([]Link, len(in.Links))
 	for i, l := range in.Links {

@@ -45,3 +45,70 @@ func TestJSONRejectsInvalid(t *testing.T) {
 		}
 	}
 }
+
+// TestMatrixJSONRoundTrip covers the explicit-matrix form used for
+// measured networks: it must survive a write/read cycle verbatim and
+// marshal as a matrix (no links to recompute from).
+func TestMatrixJSONRoundTrip(t *testing.T) {
+	orig, err := NewFromMatrix([][]float64{
+		{0, 120, 250},
+		{120, 0, 130},
+		{250, 130, 0},
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"latencyMillis"`) {
+		t.Fatalf("matrix topology did not marshal its matrix:\n%s", buf.String())
+	}
+	got, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N != 3 || got.Origin != 1 {
+		t.Fatalf("shape mismatch: %d/%d", got.N, got.Origin)
+	}
+	for i := range orig.Latency {
+		for j := range orig.Latency[i] {
+			if got.Latency[i][j] != orig.Latency[i][j] {
+				t.Fatalf("latency[%d][%d] = %g, want %g", i, j, got.Latency[i][j], orig.Latency[i][j])
+			}
+		}
+	}
+}
+
+// TestJSONRejectsInvalidInput is the hardening table: every malformed or
+// inconsistent input must fail the decode with an error, never panic, and
+// never yield a half-built topology.
+func TestJSONRejectsInvalidInput(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		{"negative link latency", `{"nodes":2,"origin":0,"links":[{"a":0,"b":1,"latencyMillis":-10}]}`},
+		{"overflowing latency", `{"nodes":2,"origin":0,"links":[{"a":0,"b":1,"latencyMillis":1e999}]}`},
+		{"link endpoint out of range", `{"nodes":2,"origin":0,"links":[{"a":0,"b":7,"latencyMillis":100}]}`},
+		{"self link", `{"nodes":2,"origin":0,"links":[{"a":1,"b":1,"latencyMillis":100}]}`},
+		{"origin out of range", `{"nodes":2,"origin":9,"links":[{"a":0,"b":1,"latencyMillis":100}]}`},
+		{"disconnected", `{"nodes":3,"origin":0,"links":[{"a":0,"b":1,"latencyMillis":100}]}`},
+		{"no nodes", `{"nodes":0,"origin":0,"links":[]}`},
+		{"both links and matrix", `{"nodes":2,"origin":0,"links":[{"a":0,"b":1,"latencyMillis":100}],"latencyMillis":[[0,1],[1,0]]}`},
+		{"node count vs matrix mismatch", `{"nodes":3,"origin":0,"latencyMillis":[[0,1],[1,0]]}`},
+		{"ragged matrix", `{"origin":0,"latencyMillis":[[0,10],[10]]}`},
+		{"negative matrix entry", `{"origin":0,"latencyMillis":[[0,-5],[-5,0]]}`},
+		{"nonzero diagonal", `{"origin":0,"latencyMillis":[[1,10],[10,0]]}`},
+		{"empty matrix", `{"origin":0,"latencyMillis":[]}`},
+		{"matrix origin out of range", `{"origin":5,"latencyMillis":[[0,10],[10,0]]}`},
+		{"malformed JSON", `{not json`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got, err := Read(strings.NewReader(c.in)); err == nil {
+				t.Errorf("accepted %s as %+v", c.in, got)
+			}
+		})
+	}
+}

@@ -61,8 +61,8 @@ func New(n int, links []Link, origin int) (*Topology, error) {
 		if l.A < 0 || l.A >= n || l.B < 0 || l.B >= n {
 			return nil, fmt.Errorf("topology: link %d-%d out of range", l.A, l.B)
 		}
-		if l.Latency < 0 {
-			return nil, fmt.Errorf("topology: link %d-%d has negative latency", l.A, l.B)
+		if l.Latency < 0 || math.IsNaN(l.Latency) || math.IsInf(l.Latency, 0) {
+			return nil, fmt.Errorf("topology: link %d-%d latency %v must be a finite non-negative number", l.A, l.B, l.Latency)
 		}
 		if l.Latency < lat[l.A][l.B] {
 			lat[l.A][l.B] = l.Latency
@@ -94,6 +94,39 @@ func New(n int, links []Link, origin int) (*Topology, error) {
 	}
 	t.Latency = lat
 	return t, nil
+}
+
+// NewFromMatrix builds a topology directly from an explicit all-pairs
+// access-latency matrix (milliseconds), for callers that measured their
+// network rather than modeling it as links. The matrix must be square,
+// every entry finite and non-negative, and the diagonal zero (local access
+// is free in the MC-PERF cost model). The matrix is used as given — no
+// shortest-path closure is applied — so a non-metric matrix states that
+// traffic is routed exactly as measured.
+func NewFromMatrix(lat [][]float64, origin int) (*Topology, error) {
+	n := len(lat)
+	if n == 0 {
+		return nil, errors.New("topology: empty latency matrix")
+	}
+	if origin < 0 || origin >= n {
+		return nil, fmt.Errorf("topology: origin %d out of range [0, %d)", origin, n)
+	}
+	cp := make([][]float64, n)
+	for i, row := range lat {
+		if len(row) != n {
+			return nil, fmt.Errorf("topology: latency matrix row %d has %d entries, want %d", i, len(row), n)
+		}
+		for j, v := range row {
+			if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("topology: latency[%d][%d] = %v must be a finite non-negative number", i, j, v)
+			}
+		}
+		if row[i] != 0 {
+			return nil, fmt.Errorf("topology: latency[%d][%d] = %v, local access latency must be 0", i, i, row[i])
+		}
+		cp[i] = append([]float64(nil), row...)
+	}
+	return &Topology{N: n, Latency: cp, Origin: origin}, nil
 }
 
 // GenOptions configures Generate.

@@ -43,11 +43,20 @@ func (t *Trace) MarshalJSON() ([]byte, error) {
 	return json.Marshal(out)
 }
 
-// UnmarshalJSON implements json.Unmarshaler, revalidating the trace.
+// UnmarshalJSON implements json.Unmarshaler, revalidating the trace. The
+// dimension checks run before the access array is converted so a bad
+// header (empty node or object set, non-positive duration) fails fast and
+// can never panic a downstream consumer.
 func (t *Trace) UnmarshalJSON(data []byte) error {
 	var in traceJSON
 	if err := json.Unmarshal(data, &in); err != nil {
 		return fmt.Errorf("workload: decode: %w", err)
+	}
+	if in.Nodes <= 0 || in.Objects <= 0 {
+		return fmt.Errorf("workload: trace needs at least one node and object (nodes=%d objects=%d)", in.Nodes, in.Objects)
+	}
+	if in.DurationMillis <= 0 {
+		return fmt.Errorf("workload: trace duration %dms must be positive", in.DurationMillis)
 	}
 	out := Trace{
 		NumNodes:   in.Nodes,

@@ -51,3 +51,32 @@ func TestTraceJSONRejectsInvalid(t *testing.T) {
 		}
 	}
 }
+
+// TestTraceJSONRejectsInvalidInput is the hardening table: a trace file
+// or request with impossible values must fail the decode with an error,
+// never panic downstream consumers.
+func TestTraceJSONRejectsInvalidInput(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		{"no nodes", `{"nodes":0,"objects":1,"durationMillis":1000,"accesses":[]}`},
+		{"empty object set", `{"nodes":1,"objects":0,"durationMillis":1000,"accesses":[]}`},
+		{"negative objects", `{"nodes":1,"objects":-3,"durationMillis":1000,"accesses":[]}`},
+		{"zero duration", `{"nodes":1,"objects":1,"durationMillis":0,"accesses":[]}`},
+		{"negative duration", `{"nodes":1,"objects":1,"durationMillis":-1000,"accesses":[]}`},
+		{"negative access time", `{"nodes":1,"objects":1,"durationMillis":1000,"accesses":[{"atMillis":-5,"node":0,"object":0}]}`},
+		{"access beyond duration", `{"nodes":1,"objects":1,"durationMillis":1000,"accesses":[{"atMillis":5000,"node":0,"object":0}]}`},
+		{"accesses out of order", `{"nodes":1,"objects":1,"durationMillis":1000,"accesses":[{"atMillis":500,"node":0,"object":0},{"atMillis":100,"node":0,"object":0}]}`},
+		{"node out of range", `{"nodes":1,"objects":1,"durationMillis":1000,"accesses":[{"atMillis":0,"node":4,"object":0}]}`},
+		{"negative node", `{"nodes":1,"objects":1,"durationMillis":1000,"accesses":[{"atMillis":0,"node":-1,"object":0}]}`},
+		{"object out of range", `{"nodes":1,"objects":1,"durationMillis":1000,"accesses":[{"atMillis":0,"node":0,"object":9}]}`},
+		{"malformed JSON", `{broken`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got, err := Read(strings.NewReader(c.in)); err == nil {
+				t.Errorf("accepted %s as %+v", c.in, got)
+			}
+		})
+	}
+}

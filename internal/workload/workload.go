@@ -39,6 +39,9 @@ func (t *Trace) Validate() error {
 	}
 	var prev time.Duration
 	for i, a := range t.Accesses {
+		if a.At < 0 {
+			return fmt.Errorf("workload: access %d at negative time %v", i, a.At)
+		}
 		if a.At < prev {
 			return fmt.Errorf("workload: access %d out of time order", i)
 		}

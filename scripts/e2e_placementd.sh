@@ -1,0 +1,132 @@
+#!/usr/bin/env bash
+# End-to-end test of the placementd service. Proves, against real builds
+# over real HTTP:
+#   1. the checked-in 20-node example job runs to completion,
+#   2. two identical concurrent submissions cost one solve (cache hit),
+#   3. DELETE aborts a running job mid-solve,
+#   4. served bounds are byte-identical to the serial cmd/bounds sweep,
+#   5. SIGTERM drains the daemon cleanly.
+# Needs only go, curl, grep and diff.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ADDR=${PLACEMENTD_ADDR:-127.0.0.1:18080}
+BASE="http://$ADDR"
+WORK=$(mktemp -d)
+DAEMON=""
+cleanup() {
+  [ -n "$DAEMON" ] && kill "$DAEMON" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+echo "== build =="
+go build -o "$WORK/placementd" ./cmd/placementd
+go build -o "$WORK/bounds" ./cmd/bounds
+
+"$WORK/placementd" -addr "$ADDR" -workers 2 -check-every 200 >"$WORK/placementd.log" 2>&1 &
+DAEMON=$!
+
+for _ in $(seq 1 50); do
+  curl -fs "$BASE/healthz" >/dev/null 2>&1 && break
+  sleep 0.2
+done
+curl -fs "$BASE/healthz" >/dev/null || {
+  echo "placementd never became healthy" >&2
+  cat "$WORK/placementd.log" >&2
+  exit 1
+}
+
+submit() { curl -fs -X POST --data-binary "$1" "$BASE/jobs"; }
+job_id() { grep -o '"id": "[^"]*"' | head -1 | cut -d'"' -f4; }
+state_of() { curl -fs "$BASE/jobs/$1" | grep -o '"state": "[a-z]*"' | cut -d'"' -f4; }
+wait_done() { # job-id timeout-seconds
+  local id=$1 deadline=$(($(date +%s) + $2)) st
+  while :; do
+    st=$(state_of "$id")
+    case "$st" in
+    done) return 0 ;;
+    failed | canceled)
+      echo "job $id ended $st" >&2
+      return 1
+      ;;
+    esac
+    if [ "$(date +%s)" -ge "$deadline" ]; then
+      echo "job $id still $st after $2 s" >&2
+      return 1
+    fi
+    sleep 1
+  done
+}
+
+echo "== example job (20 nodes) =="
+ID=$(submit @examples/jobs/web20.json | job_id)
+wait_done "$ID" 300
+
+echo "== identical concurrent submissions share one solve =="
+BODY='{"spec":{"workload":"web","scale":"small","nodes":8,"objects":10,"requests":2000,"horizonMillis":14400000,"qos":[0.9]}}'
+submit "$BODY" >"$WORK/sub1.json" &
+P1=$!
+submit "$BODY" >"$WORK/sub2.json" &
+P2=$!
+wait $P1 $P2
+ID1=$(job_id <"$WORK/sub1.json")
+ID2=$(job_id <"$WORK/sub2.json")
+if [ "$ID1" != "$ID2" ]; then
+  echo "identical submissions got distinct jobs $ID1 and $ID2" >&2
+  exit 1
+fi
+wait_done "$ID1" 300
+curl -fs "$BASE/metrics" | grep -q '^placementd_cache_hits_total [1-9]' || {
+  echo "metrics report no cache hit for the duplicate submission" >&2
+  curl -fs "$BASE/metrics" | grep placementd_cache >&2 || true
+  exit 1
+}
+
+echo "== cancellation aborts a running solve =="
+SLOW='{"spec":{"workload":"web","scale":"small","nodes":10,"objects":30,"requests":8000,"qos":[0.99,0.999,0.9999]},"classes":["general","storage-constrained","replica-constrained"]}'
+CID=$(submit "$SLOW" | job_id)
+for _ in $(seq 1 150); do
+  [ "$(state_of "$CID")" = running ] && break
+  sleep 0.2
+done
+curl -fs -X DELETE "$BASE/jobs/$CID" >/dev/null
+for _ in $(seq 1 150); do
+  [ "$(state_of "$CID")" = canceled ] && break
+  sleep 0.2
+done
+if [ "$(state_of "$CID")" != canceled ]; then
+  echo "job $CID is $(state_of "$CID") after DELETE, want canceled" >&2
+  exit 1
+fi
+
+echo "== served bounds match the serial sweep byte for byte =="
+for wl in web group; do
+  "$WORK/bounds" -workload "$wl" -scale small -qos 0.9,0.95 -parallel 1 >"$WORK/golden_$wl.tsv"
+  ID=$(submit "{\"spec\":{\"workload\":\"$wl\",\"scale\":\"small\",\"qos\":[0.9,0.95]}}" | job_id)
+  wait_done "$ID" 600
+  curl -fs "$BASE/jobs/$ID/result?format=tsv" >"$WORK/served_$wl.tsv"
+  diff "$WORK/golden_$wl.tsv" "$WORK/served_$wl.tsv" || {
+    echo "$wl bounds differ from the serial sweep" >&2
+    exit 1
+  }
+done
+
+echo "== graceful drain on SIGTERM =="
+kill -TERM "$DAEMON"
+for _ in $(seq 1 150); do
+  kill -0 "$DAEMON" 2>/dev/null || break
+  sleep 0.2
+done
+if kill -0 "$DAEMON" 2>/dev/null; then
+  echo "daemon still running after SIGTERM" >&2
+  exit 1
+fi
+grep -q "drained cleanly" "$WORK/placementd.log" || {
+  echo "daemon exited without a clean drain:" >&2
+  cat "$WORK/placementd.log" >&2
+  exit 1
+}
+DAEMON=""
+
+echo "placementd e2e: all checks passed"
