@@ -40,6 +40,7 @@ func run() error {
 		skipRound    = flag.Bool("skip-rounding", false, "compute LP bounds only (no tightness certificate)")
 		parallel     = flag.Int("parallel", 0, "concurrent bound solves (0 = GOMAXPROCS, 1 = serial)")
 		solveTimeout = flag.Duration("solve-timeout", 0, "wall-clock cap per LP solve (0 = unlimited)")
+		warmStart    = flag.Bool("warm-start", true, "reuse each solution's basis to seed the next QoS point of a class (false = every cell solves cold)")
 		verbose      = flag.Bool("v", false, "print per-bound progress (incl. solver stats) to stderr")
 	)
 	flag.Parse()
@@ -73,6 +74,7 @@ func run() error {
 		Parallel:     *parallel,
 		SolveTimeout: *solveTimeout,
 		Ctx:          ctx,
+		ColdStart:    !*warmStart,
 	}
 	opts.Bound.SkipRounding = *skipRound
 	fig, err := experiments.Figure1(sys, opts, progress)

@@ -29,6 +29,7 @@ func run(args []string, stdout io.Writer) error {
 		scaleFlag    = fs.String("scale", "small", "experiment scale: small, medium or large")
 		parallel     = fs.Int("parallel", 0, "concurrent cells (0 = GOMAXPROCS, 1 = serial)")
 		solveTimeout = fs.Duration("solve-timeout", 0, "wall-clock cap per LP solve (0 = unlimited)")
+		warmStart    = fs.Bool("warm-start", true, "reuse each solution's basis to seed the next QoS point of the bound column (false = every cell solves cold)")
 		verbose      = fs.Bool("v", false, "print per-point progress to stderr")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -49,6 +50,7 @@ func run(args []string, stdout io.Writer) error {
 		Parallel:     *parallel,
 		SolveTimeout: *solveTimeout,
 		Ctx:          ctx,
+		ColdStart:    !*warmStart,
 	}, cli.Progress(*verbose, os.Stderr))
 	if err != nil {
 		return err

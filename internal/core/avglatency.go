@@ -137,6 +137,7 @@ func (in *Instance) avgLowerBound(class *Class, opts BoundOptions) (*Bound, erro
 		LPVariables:  b.model.NumVars(),
 		Stats:        sol.Stats,
 		StoreFrac:    extractStore(b, sol),
+		Basis:        sol.Basis,
 	}
 	// The rounding algorithm targets the QoS metric; for the average-
 	// latency goal the LP bound stands alone (the paper's methodology

@@ -48,6 +48,12 @@ type Bound struct {
 	// Open holds the fractional open variables per node when the instance
 	// carries a node-opening cost (nil otherwise).
 	Open []float64
+	// Basis is the final simplex basis of the LP solve. Sweeps feed it
+	// into the next solve of the same class at the next QoS level
+	// (BoundOptions.LP.Start) to warm-start the simplex; the solver
+	// validates it against the next problem's shape and falls back to a
+	// cold start on mismatch.
+	Basis *lp.Basis
 }
 
 // Gap returns the relative rounding gap (feasible - bound) / bound.
@@ -94,6 +100,7 @@ func (in *Instance) qosLowerBound(class *Class, opts BoundOptions) (*Bound, erro
 		LPVariables:  b.model.NumVars(),
 		Stats:        sol.Stats,
 		StoreFrac:    extractStore(b, sol),
+		Basis:        sol.Basis,
 	}
 	if b.perturbSlack > 0 {
 		// Undo the anti-degeneracy perturbation conservatively: for any

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"wideplace/internal/topology"
+	"wideplace/internal/workload"
+	"wideplace/internal/xrand"
+)
+
+// propInstance is one randomized small system drawn by the property tests.
+type propInstance struct {
+	inst *Instance
+	topo *topology.Topology
+	tqos float64
+	desc string
+}
+
+// randomInstances draws n small systems with randomized topology size,
+// workload shape, trace volume and QoS goal, all derived deterministically
+// from the given seed so failures reproduce.
+func randomInstances(t *testing.T, seed uint64, n int) []propInstance {
+	t.Helper()
+	rng := xrand.New(seed)
+	goals := []float64{0.5, 0.7, 0.85, 0.95, 1.0}
+	out := make([]propInstance, 0, n)
+	for len(out) < n {
+		nodes := 4 + rng.Intn(3)
+		objects := 4 + rng.Intn(8)
+		requests := 200 + rng.Intn(500)
+		horizon := time.Duration(2+rng.Intn(4)) * time.Hour
+		genSeed := rng.Uint64()
+		tqos := goals[rng.Intn(len(goals))]
+
+		topo, err := topology.Generate(topology.GenOptions{N: nodes, Seed: rng.Uint64()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var tr *workload.Trace
+		kind := "web"
+		if rng.Intn(2) == 0 {
+			tr, err = workload.GenerateWeb(workload.WebOptions{
+				Nodes: nodes, Objects: objects, Requests: requests,
+				Duration: horizon, Seed: genSeed,
+			})
+		} else {
+			kind = "group"
+			tr, err = workload.GenerateGroup(workload.GroupOptions{
+				Nodes: nodes, Objects: objects, Requests: requests,
+				Duration: horizon, Seed: genSeed,
+			})
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts, err := tr.Bucket(time.Hour)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inst, err := NewInstance(topo, counts, DefaultCost(), QoS(tqos, 150))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, propInstance{
+			inst: inst, topo: topo, tqos: tqos,
+			desc: kind + " " + time.Duration(horizon).String(),
+		})
+	}
+	return out
+}
+
+// TestRoundingPropertyRandomInstances checks the rounding algorithm's
+// contract on randomized small instances: for every class whose goal is
+// attainable, the rounded placement must satisfy the class's structural
+// constraints and the QoS goal (VerifySolution), cost at least the LP
+// bound, and cost no more than the certified gap recorded by LowerBound
+// (Round is deterministic given the same fractional solution).
+func TestRoundingPropertyRandomInstances(t *testing.T) {
+	const tol = 1e-6
+	for i, pi := range randomInstances(t, 0xC0FFEE, 8) {
+		classes := []*Class{
+			General(),
+			StorageConstrained(),
+			ReplicaConstrained(),
+			Caching(pi.topo),
+		}
+		for _, class := range classes {
+			b, err := pi.inst.LowerBound(class, BoundOptions{})
+			if errors.Is(err, ErrGoalUnattainable) {
+				continue
+			}
+			if err != nil {
+				t.Fatalf("#%d (%s, tqos=%g) %s: %v", i, pi.desc, pi.tqos, class.Name, err)
+			}
+			if b.FeasibleCost < b.LPBound-tol {
+				t.Errorf("#%d (%s, tqos=%g) %s: feasible %g below LP bound %g",
+					i, pi.desc, pi.tqos, class.Name, b.FeasibleCost, b.LPBound)
+			}
+			// Re-round the fractional solution to obtain the placement
+			// itself and verify its feasibility end to end.
+			rr, err := pi.inst.Round(class, cloneF3(b.StoreFrac), RoundOptions{})
+			if err != nil {
+				t.Fatalf("#%d (%s, tqos=%g) %s round: %v", i, pi.desc, pi.tqos, class.Name, err)
+			}
+			if err := pi.inst.VerifySolution(class, rr.Store); err != nil {
+				t.Errorf("#%d (%s, tqos=%g) %s: rounded placement infeasible: %v",
+					i, pi.desc, pi.tqos, class.Name, err)
+			}
+			if rr.Cost < b.LPBound-tol {
+				t.Errorf("#%d (%s, tqos=%g) %s: rounded cost %g below LP bound %g",
+					i, pi.desc, pi.tqos, class.Name, rr.Cost, b.LPBound)
+			}
+			if rr.Cost > b.FeasibleCost+tol {
+				t.Errorf("#%d (%s, tqos=%g) %s: rounded cost %g above certified gap %g",
+					i, pi.desc, pi.tqos, class.Name, rr.Cost, b.FeasibleCost)
+			}
+			// The reported cost must agree with an independent recomputation
+			// from the integral placement.
+			if got := pi.inst.SolutionCost(class, rr.Store); math.Abs(got-rr.Cost) > tol {
+				t.Errorf("#%d (%s, tqos=%g) %s: SolutionCost %g != RoundResult.Cost %g",
+					i, pi.desc, pi.tqos, class.Name, got, rr.Cost)
+			}
+		}
+	}
+}
+
+// TestRoundingPropertyWarmChain replays the property along an ascending
+// QoS ladder with warm-started LP solves, mirroring how the sweep engine
+// now calls LowerBound: a basis handed from a looser goal must never
+// yield an invalid certificate at a tighter one.
+func TestRoundingPropertyWarmChain(t *testing.T) {
+	const tol = 1e-6
+	tp, err := topology.Generate(topology.GenOptions{N: 6, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := workload.GenerateWeb(workload.WebOptions{
+		Nodes: 6, Objects: 10, Requests: 600, Seed: 23, Duration: 4 * time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts, err := tr.Bucket(time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mk := range []func() *Class{
+		General, StorageConstrained, ReplicaConstrained,
+	} {
+		class := mk()
+		var opts BoundOptions
+		prev := -1.0
+		for _, tqos := range []float64{0.6, 0.75, 0.9, 0.99} {
+			inst, err := NewInstance(tp, counts, DefaultCost(), QoS(tqos, 150))
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := inst.LowerBound(class, opts)
+			if errors.Is(err, ErrGoalUnattainable) {
+				continue
+			}
+			if err != nil {
+				t.Fatalf("%s at %g: %v", class.Name, tqos, err)
+			}
+			opts.LP.Start = b.Basis
+			if b.LPBound < prev-tol {
+				t.Errorf("%s: warm-chained bound decreased from %g to %g at %g",
+					class.Name, prev, b.LPBound, tqos)
+			}
+			prev = b.LPBound
+			rr, err := inst.Round(class, cloneF3(b.StoreFrac), RoundOptions{})
+			if err != nil {
+				t.Fatalf("%s at %g round: %v", class.Name, tqos, err)
+			}
+			if err := inst.VerifySolution(class, rr.Store); err != nil {
+				t.Errorf("%s at %g: warm-chained rounded placement infeasible: %v", class.Name, tqos, err)
+			}
+			if rr.Cost < b.LPBound-tol {
+				t.Errorf("%s at %g: rounded cost %g below LP bound %g", class.Name, tqos, rr.Cost, b.LPBound)
+			}
+		}
+	}
+}

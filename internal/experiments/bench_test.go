@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"bytes"
 	"encoding/json"
 	"os"
 	"runtime"
@@ -42,38 +43,126 @@ func benchSweep(b *testing.B, parallel int) {
 func BenchmarkSweepSerial(b *testing.B)   { benchSweep(b, 1) }
 func BenchmarkSweepParallel(b *testing.B) { benchSweep(b, 0) }
 
-// benchRecord is one line of BENCH_sweep.json: wall time per sweep plus
-// the sweep's deterministic solver-effort counters, so a perf regression
-// can be attributed (more iterations = algorithmic change, same
-// iterations but slower = implementation change).
-type benchRecord struct {
-	GoVersion  string `json:"goVersion"`
-	GOMAXPROCS int    `json:"gomaxprocs"`
-	Sweeps     []struct {
-		Name    string `json:"name"`
-		NsPerOp int64  `json:"nsPerOp"`
-		Runs    int    `json:"runs"`
-	} `json:"sweeps"`
-	Solver struct {
-		Cells            int   `json:"cells"`
-		Iterations       int   `json:"iterations"`
-		Phase1Iterations int   `json:"phase1Iterations"`
-		Refactorizations int   `json:"refactorizations"`
-		DegenerateSteps  int   `json:"degenerateSteps"`
-		BoundFlips       int   `json:"boundFlips"`
-		PricingScans     int64 `json:"pricingScans"`
-	} `json:"solver"`
+// benchLadderSpec is benchSpec's instance with a five-point QoS ladder:
+// the warm-vs-cold comparison needs columns long enough that basis reuse
+// can pay for itself. Changing it invalidates the Warm/Cold history in
+// BENCH_sweep.json (benchSpec itself stays untouched so the
+// Serial/Parallel history remains comparable).
+func benchLadderSpec(tb testing.TB) *System {
+	spec, err := NewSpec(WEB, ScaleSmall)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	spec.Nodes = 8
+	spec.Objects = 10
+	spec.Requests = 2000
+	spec.Horizon = 4 * 3600e9
+	spec.QoSPoints = []float64{0.90, 0.93, 0.95, 0.97, 0.99}
+	sys, err := Build(spec)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return sys
 }
 
-// TestWriteBenchJSON regenerates BENCH_sweep.json when BENCH_JSON names
-// the output path (it is skipped in normal test runs):
+func benchLadderSweep(b *testing.B, cold bool) {
+	sys := benchLadderSpec(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Figure1(sys, Options{Parallel: 1, ColdStart: cold}, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepWarm/Cold isolate the warm-start speedup: one serial
+// sweep of the ladder instance with and without basis chaining.
+func BenchmarkSweepWarm(b *testing.B) { benchLadderSweep(b, false) }
+func BenchmarkSweepCold(b *testing.B) { benchLadderSweep(b, true) }
+
+// benchSweepEntry is one benchmark's wall-time measurement.
+type benchSweepEntry struct {
+	Name    string `json:"name"`
+	NsPerOp int64  `json:"nsPerOp"`
+	Runs    int    `json:"runs"`
+}
+
+// benchSolver holds a sweep's deterministic solver-effort counters.
+type benchSolver struct {
+	Cells            int   `json:"cells"`
+	Iterations       int   `json:"iterations"`
+	Phase1Iterations int   `json:"phase1Iterations"`
+	Refactorizations int   `json:"refactorizations"`
+	DegenerateSteps  int   `json:"degenerateSteps"`
+	BoundFlips       int   `json:"boundFlips"`
+	PricingScans     int64 `json:"pricingScans"`
+	WarmSolves       int   `json:"warmSolves,omitempty"`
+	ColdSolves       int   `json:"coldSolves,omitempty"`
+	WarmIterations   int   `json:"warmIterations,omitempty"`
+	ColdIterations   int   `json:"coldIterations,omitempty"`
+}
+
+// benchRecord is one data point of BENCH_sweep.json: wall time per sweep
+// plus the sweep's deterministic solver-effort counters, so a perf
+// regression can be attributed (more iterations = algorithmic change,
+// same iterations but slower = implementation change). The file is an
+// array of records, one per recorded engine revision, oldest first.
+type benchRecord struct {
+	GoVersion  string            `json:"goVersion"`
+	GOMAXPROCS int               `json:"gomaxprocs"`
+	Sweeps     []benchSweepEntry `json:"sweeps"`
+	// Solver counts the default (warm-chained) serial benchSpec sweep;
+	// SolverCold the same sweep with ColdStart, so the pair shows how
+	// much simplex work warm starting saves.
+	Solver     benchSolver  `json:"solver"`
+	SolverCold *benchSolver `json:"solverCold,omitempty"`
+}
+
+func solverCounters(fig *Figure) benchSolver {
+	var out benchSolver
+	var agg lp.Stats
+	out.Cells, agg = fig.SolverStats()
+	out.Iterations = agg.Iterations
+	out.Phase1Iterations = agg.Phase1Iterations
+	out.Refactorizations = agg.Refactorizations
+	out.DegenerateSteps = agg.DegenerateSteps
+	out.BoundFlips = agg.BoundFlips
+	out.PricingScans = agg.PricingScans
+	out.WarmSolves = agg.WarmSolves
+	out.ColdSolves = agg.ColdSolves
+	out.WarmIterations = agg.WarmIterations
+	out.ColdIterations = agg.ColdIterations
+	return out
+}
+
+// TestWriteBenchJSON appends a data point to BENCH_sweep.json when
+// BENCH_JSON names the output path (it is skipped in normal test runs):
 //
 //	BENCH_JSON=$PWD/BENCH_sweep.json go test ./internal/experiments -run TestWriteBenchJSON -v
+//
+// An existing file is extended: a legacy single-object file becomes the
+// first element of the array form.
 func TestWriteBenchJSON(t *testing.T) {
 	path := os.Getenv("BENCH_JSON")
 	if path == "" {
 		t.Skip("set BENCH_JSON=<path> to emit the sweep benchmark data point")
 	}
+	var history []json.RawMessage
+	if data, err := os.ReadFile(path); err == nil {
+		trimmed := bytes.TrimSpace(data)
+		switch {
+		case len(trimmed) == 0:
+		case trimmed[0] == '[':
+			if err := json.Unmarshal(trimmed, &history); err != nil {
+				t.Fatalf("existing %s: %v", path, err)
+			}
+		default:
+			history = append(history, json.RawMessage(trimmed))
+		}
+	} else if !os.IsNotExist(err) {
+		t.Fatal(err)
+	}
+
 	var rec benchRecord
 	rec.GoVersion = runtime.Version()
 	rec.GOMAXPROCS = runtime.GOMAXPROCS(0)
@@ -83,37 +172,40 @@ func TestWriteBenchJSON(t *testing.T) {
 	}{
 		{"SweepSerial", BenchmarkSweepSerial},
 		{"SweepParallel", BenchmarkSweepParallel},
+		{"SweepWarm", BenchmarkSweepWarm},
+		{"SweepCold", BenchmarkSweepCold},
 	} {
 		res := testing.Benchmark(bench.fn)
-		rec.Sweeps = append(rec.Sweeps, struct {
-			Name    string `json:"name"`
-			NsPerOp int64  `json:"nsPerOp"`
-			Runs    int    `json:"runs"`
-		}{bench.name, res.NsPerOp(), res.N})
+		rec.Sweeps = append(rec.Sweeps, benchSweepEntry{bench.name, res.NsPerOp(), res.N})
 	}
 
 	// The counters are deterministic for the fixed spec, so they come
-	// from one additional serial sweep rather than the timed runs.
+	// from one additional serial sweep per start mode rather than the
+	// timed runs.
 	sys := benchSpec(t)
-	fig, err := Figure1(sys, Options{Parallel: 1}, nil)
+	warmFig, err := Figure1(sys, Options{Parallel: 1}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	var agg lp.Stats
-	rec.Solver.Cells, agg = fig.SolverStats()
-	rec.Solver.Iterations = agg.Iterations
-	rec.Solver.Phase1Iterations = agg.Phase1Iterations
-	rec.Solver.Refactorizations = agg.Refactorizations
-	rec.Solver.DegenerateSteps = agg.DegenerateSteps
-	rec.Solver.BoundFlips = agg.BoundFlips
-	rec.Solver.PricingScans = agg.PricingScans
+	rec.Solver = solverCounters(warmFig)
+	coldFig, err := Figure1(sys, Options{Parallel: 1, ColdStart: true}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := solverCounters(coldFig)
+	rec.SolverCold = &cold
 
-	out, err := json.MarshalIndent(&rec, "", "  ")
+	recJSON, err := json.Marshal(&rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	history = append(history, recJSON)
+	out, err := json.MarshalIndent(history, "", "  ")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	t.Logf("wrote %s", path)
+	t.Logf("wrote %s (%d records)", path, len(history))
 }

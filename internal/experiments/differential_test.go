@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// stripSolverFooter drops the "# solver:" footer lines from a TSV
+// rendering. The footer's iteration counters legitimately differ between
+// warm and cold sweeps (that difference is the whole point of warm
+// starting); the figure body — every bound the paper reports — must not.
+func stripSolverFooter(tsv string) string {
+	var out []string
+	for _, line := range strings.Split(tsv, "\n") {
+		if strings.HasPrefix(line, "# solver:") {
+			continue
+		}
+		out = append(out, line)
+	}
+	return strings.Join(out, "\n")
+}
+
+// TestWarmColdDifferential is the warm-start engine's central guarantee:
+// chaining each class column's bases over ascending QoS goals changes
+// solver effort, never results. It renders the full Figure-1 grid (every
+// class at every QoS goal, both workloads) warm and cold and demands
+// byte-identical TSV bodies and per-point objectives equal to 1e-9.
+func TestWarmColdDifferential(t *testing.T) {
+	for _, kind := range []WorkloadKind{WEB, GROUP} {
+		t.Run(string(kind), func(t *testing.T) {
+			spec := tinySpec(kind)
+			// Three ascending goals give every column two warm links.
+			spec.QoSPoints = []float64{0.7, 0.8, 0.9}
+			sys, err := Build(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			render := func(cold bool) (*Figure, string) {
+				fig, err := Figure1(sys, Options{Parallel: 4, ColdStart: cold}, nil)
+				if err != nil {
+					t.Fatalf("coldStart=%v: %v", cold, err)
+				}
+				var buf bytes.Buffer
+				if err := fig.WriteTSV(&buf); err != nil {
+					t.Fatal(err)
+				}
+				return fig, buf.String()
+			}
+			warmFig, warmTSV := render(false)
+			coldFig, coldTSV := render(true)
+
+			if got, want := stripSolverFooter(warmTSV), stripSolverFooter(coldTSV); got != want {
+				t.Errorf("warm TSV body differs from cold:\n--- warm ---\n%s\n--- cold ---\n%s", got, want)
+			}
+			for si, ws := range warmFig.Series {
+				cs := coldFig.Series[si]
+				for pi, wp := range ws.Points {
+					cp := cs.Points[pi]
+					if wp.Infeasible != cp.Infeasible {
+						t.Errorf("%s at %g: warm infeasible=%v, cold=%v", ws.Name, wp.QoS, wp.Infeasible, cp.Infeasible)
+						continue
+					}
+					if math.Abs(wp.Bound-cp.Bound) > 1e-9 {
+						t.Errorf("%s at %g: warm bound %.12g != cold %.12g", ws.Name, wp.QoS, wp.Bound, cp.Bound)
+					}
+					// The rounding certificate may differ: when the LP has
+					// alternate optima, a warm start can land on a different
+					// optimal vertex, and rounding starts from that vertex's
+					// fractional placement. Both certificates must still be
+					// valid (at or above the shared bound).
+					if wp.Feasible < wp.Bound-1e-6 {
+						t.Errorf("%s at %g: warm feasible %g below bound %g", ws.Name, wp.QoS, wp.Feasible, wp.Bound)
+					}
+					if cp.Feasible < cp.Bound-1e-6 {
+						t.Errorf("%s at %g: cold feasible %g below bound %g", ws.Name, wp.QoS, cp.Feasible, cp.Bound)
+					}
+				}
+			}
+
+			// The runs must actually have exercised both start modes.
+			_, warmAgg := warmFig.SolverStats()
+			_, coldAgg := coldFig.SolverStats()
+			if warmAgg.WarmSolves == 0 {
+				t.Errorf("warm sweep recorded no warm solves: %+v", warmAgg)
+			}
+			if coldAgg.WarmSolves != 0 {
+				t.Errorf("cold sweep recorded %d warm solves", coldAgg.WarmSolves)
+			}
+			if coldAgg.ColdSolves == 0 {
+				t.Errorf("cold sweep recorded no cold solves: %+v", coldAgg)
+			}
+		})
+	}
+}

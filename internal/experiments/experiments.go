@@ -299,15 +299,16 @@ func (f *Figure) SolverStats() (cells int, agg lp.Stats) {
 	return cells, agg
 }
 
-// boundOrInfeasible wraps LowerBound, mapping goal unattainability to an
-// infeasible point instead of an error.
-func boundPoint(inst *core.Instance, class *core.Class, tqos float64, opts core.BoundOptions) (Point, error) {
+// boundPoint wraps LowerBound, mapping goal unattainability to an
+// infeasible point instead of an error. The returned basis (nil for
+// infeasible points) lets warm chains seed the next solve in a column.
+func boundPoint(inst *core.Instance, class *core.Class, tqos float64, opts core.BoundOptions) (Point, *lp.Basis, error) {
 	b, err := inst.LowerBound(class, opts)
 	if err != nil {
 		if errors.Is(err, core.ErrGoalUnattainable) {
-			return Point{Class: class.Name, QoS: tqos, Infeasible: true}, nil
+			return Point{Class: class.Name, QoS: tqos, Infeasible: true}, nil, nil
 		}
-		return Point{}, err
+		return Point{}, nil, err
 	}
-	return Point{Class: class.Name, QoS: tqos, Bound: b.LPBound, Feasible: b.FeasibleCost, Stats: b.Stats}, nil
+	return Point{Class: class.Name, QoS: tqos, Bound: b.LPBound, Feasible: b.FeasibleCost, Stats: b.Stats}, b.Basis, nil
 }

@@ -73,11 +73,15 @@ func Sweep(sys *System, classes []*core.Class, title string, opts Options, progr
 	return boundFigure(sys, newInstanceCache(sys), classes, title, opts, progress)
 }
 
-// boundFigure sweeps the (class, QoS point) grid. Cells are independent
-// LP solves, so they fan out across opts.Parallel workers; each result is
-// slotted by its grid index, which keeps the figure byte-identical to a
-// serial sweep. Every per-QoS instance is built exactly once and shared
-// across classes via the cache.
+// boundFigure sweeps the (class, QoS point) grid. By default each class
+// column is one warm chain: its QoS points solve in ascending order on
+// one worker, each LP seeded with the previous solution's basis, and
+// distinct columns fan out across opts.Parallel workers. With
+// opts.ColdStart every cell is an independent crash-basis solve and the
+// grid fans out per cell. Results are slotted by grid index either way,
+// so the figure is deterministic across worker counts and identical
+// (bounds and TSV body) between the two modes. Every per-QoS instance is
+// built exactly once and shared across classes via the cache.
 func boundFigure(sys *System, cache *instanceCache, classes []*core.Class, title string, opts Options, progress Progress) (*Figure, error) {
 	fig := &Figure{Title: title, Spec: sys.Spec}
 	qos := sys.Spec.QoSPoints
@@ -88,23 +92,31 @@ func boundFigure(sys *System, cache *instanceCache, classes []*core.Class, title
 	}
 	progress = syncProgress(progress)
 	tick := opts.cellTicker(nC * nQ)
-	err := runCells(opts.context(), nC*nQ, opts.workers(nC*nQ), func(ctx context.Context, idx int) error {
-		c, qi := idx/nQ, idx%nQ
-		class, q := classes[c], qos[qi]
-		inst, err := cache.get(q)
-		if err != nil {
-			return err
-		}
-		start := time.Now()
-		p, err := boundPoint(inst, class, q, opts.boundOptions(ctx))
-		if err != nil {
-			return fmt.Errorf("%s at %g: %w", class.Name, q, err)
-		}
-		progress.logPoint(p, time.Since(start))
-		points[c][qi] = p
-		tick()
-		return nil
-	})
+	var err error
+	if opts.ColdStart {
+		err = runCells(opts.context(), nC*nQ, opts.workers(nC*nQ), func(ctx context.Context, idx int) error {
+			c, qi := idx/nQ, idx%nQ
+			class, q := classes[c], qos[qi]
+			inst, err := cache.get(q)
+			if err != nil {
+				return err
+			}
+			start := time.Now()
+			p, _, err := boundPoint(inst, class, q, opts.boundOptions(ctx))
+			if err != nil {
+				return fmt.Errorf("%s at %g: %w", class.Name, q, err)
+			}
+			progress.logPoint(p, time.Since(start))
+			points[c][qi] = p
+			tick()
+			return nil
+		})
+	} else {
+		err = runCells(opts.context(), nC, opts.workers(nC), func(ctx context.Context, c int) error {
+			return solveColumn(ctx, cache, classes[c], qos, opts, progress, tick,
+				func(qi int, p Point) { points[c][qi] = p })
+		})
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -165,26 +177,32 @@ func Figure2(sys *System, opts Options, progress Progress) (*Figure2Result, erro
 	}
 	cache := newInstanceCache(sys)
 	progress = syncProgress(progress)
-	// Cell layout: 3 tasks per QoS point.
+	// Cell layout: 3 tasks per QoS point. By default the nQ bound tasks
+	// fold into a single warm-chained column cell (tuning tasks are
+	// simulator runs with no basis to share and fan out unchanged); with
+	// ColdStart the grid keeps one independent bound cell per QoS point.
 	const tasks = 3
 	tick := opts.cellTicker(tasks * nQ)
-	err := runCells(opts.context(), tasks*nQ, opts.workers(tasks*nQ), func(ctx context.Context, idx int) error {
-		qi, task := idx/tasks, idx%tasks
+	bound := func(ctx context.Context, qi int) error {
 		q := qos[qi]
+		inst, err := cache.get(q)
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		bp, _, err := boundPoint(inst, boundClass, q, opts.boundOptions(ctx))
+		if err != nil {
+			return fmt.Errorf("%s at %g: %w", boundClass.Name, q, err)
+		}
+		progress.logPoint(bp, time.Since(start))
+		res.Bound[qi] = bp
+		tick()
+		return nil
+	}
+	tune := func(qi, task int) {
 		defer tick()
+		q := qos[qi]
 		switch task {
-		case 0:
-			inst, err := cache.get(q)
-			if err != nil {
-				return err
-			}
-			start := time.Now()
-			bp, err := boundPoint(inst, boundClass, q, opts.boundOptions(ctx))
-			if err != nil {
-				return fmt.Errorf("%s at %g: %w", boundClass.Name, q, err)
-			}
-			progress.logPoint(bp, time.Since(start))
-			res.Bound[qi] = bp
 		case 1:
 			// The deployed centralized heuristics are the demand-known
 			// (prefetching) variants: their Table 3 classes are proactive,
@@ -204,8 +222,29 @@ func Figure2(sys *System, opts Options, progress Progress) (*Figure2Result, erro
 				return heuristics.NewLRU(p)
 			}, sys.Spec.Objects, q, progress)
 		}
-		return nil
-	})
+	}
+	var err error
+	if opts.ColdStart {
+		err = runCells(opts.context(), tasks*nQ, opts.workers(tasks*nQ), func(ctx context.Context, idx int) error {
+			qi, task := idx/tasks, idx%tasks
+			if task == 0 {
+				return bound(ctx, qi)
+			}
+			tune(qi, task)
+			return nil
+		})
+	} else {
+		// Cell 0 is the bound column's warm chain; cells 1..2*nQ are the
+		// tuning tasks in the same qi-major order as the cold layout.
+		err = runCells(opts.context(), 1+2*nQ, opts.workers(1+2*nQ), func(ctx context.Context, idx int) error {
+			if idx == 0 {
+				return solveColumn(ctx, cache, boundClass, qos, opts, progress, tick,
+					func(qi int, p Point) { res.Bound[qi] = p })
+			}
+			tune((idx-1)/2, (idx-1)%2+1)
+			return nil
+		})
+	}
 	if err != nil {
 		return nil, err
 	}

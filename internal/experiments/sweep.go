@@ -2,11 +2,14 @@ package experiments
 
 import (
 	"context"
+	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
 	"wideplace/internal/core"
+	"wideplace/internal/lp"
 )
 
 // Options configures a figure run: the bound computation itself plus the
@@ -23,6 +26,16 @@ type Options struct {
 	// pathological solve then fails with lp.ErrTimeout instead of
 	// hanging the whole figure.
 	SolveTimeout time.Duration
+	// ColdStart disables warm-start basis chaining. By default the sweep
+	// solves each class column's QoS points in ascending goal order,
+	// seeding every LP with the previous solution's basis
+	// (lp.Options.Start); the cells of one column run sequentially on one
+	// worker while distinct columns still fan out across the pool, and
+	// every solve remains independent of worker count, so results stay
+	// deterministic and identical to a cold sweep. With ColdStart every
+	// cell solves from the crash basis and the grid fans out per cell;
+	// bounds are identical either way, only solver effort differs.
+	ColdStart bool
 	// Ctx cancels the whole sweep (nil = context.Background()).
 	Ctx context.Context
 	// OnCell, when non-nil, receives (done, total) after every completed
@@ -160,6 +173,53 @@ func runCells(parent context.Context, n, workers int, fn func(ctx context.Contex
 	// The parent may have been canceled between cells without any fn
 	// observing it.
 	return context.Cause(ctx)
+}
+
+// ascendingQoS returns the indices of qos sorted by ascending goal value,
+// the order in which a warm chain visits a column: each tighter goal
+// reuses the basis of the previous, slightly looser solve.
+func ascendingQoS(qos []float64) []int {
+	order := make([]int, len(qos))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return qos[order[a]] < qos[order[b]] })
+	return order
+}
+
+// solveColumn computes one class's bounds over all QoS points in
+// ascending goal order, feeding each solution's basis into the next solve
+// (the warm chain). Results are delivered through out with their original
+// qos index, so callers keep the same slotting as the per-cell sweep. An
+// infeasible point keeps the chain's last good basis: on an ascending
+// ladder, tighter goals after a failure still warm-start from the last
+// feasible solve's basis.
+func solveColumn(ctx context.Context, cache *instanceCache, class *core.Class, qos []float64, opts Options, progress Progress, tick func(), out func(qi int, p Point)) error {
+	var start *lp.Basis
+	for _, qi := range ascendingQoS(qos) {
+		if ctx.Err() != nil {
+			return context.Cause(ctx)
+		}
+		q := qos[qi]
+		inst, err := cache.get(q)
+		if err != nil {
+			return err
+		}
+		bo := opts.boundOptions(ctx)
+		bo.LP.Start = start
+		startT := time.Now()
+		p, basis, err := boundPoint(inst, class, q, bo)
+		if err != nil {
+			return fmt.Errorf("%s at %g: %w", class.Name, q, err)
+		}
+		progress.logPoint(p, time.Since(startT))
+		out(qi, p)
+		if basis != nil {
+			start = basis
+		}
+		tick()
+	}
+	return nil
 }
 
 // syncProgress serializes a Progress callback so concurrent workers never

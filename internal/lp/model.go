@@ -214,6 +214,10 @@ type Solution struct {
 	Iterations int
 	// Stats carries the full solver-effort breakdown for this solve.
 	Stats Stats
+	// Basis is the final simplex basis, reusable through Options.Start to
+	// warm-start a later solve of a same-shaped problem (nil for the
+	// unconstrained zero-row case, which has no basis).
+	Basis *Basis
 }
 
 // Value returns the solution value of structural variable v.

@@ -39,6 +39,12 @@ type Options struct {
 	// eligible column in it, falling back to a full sweep before declaring
 	// optimality.
 	SectionSize int
+	// Start, when non-nil, seeds the solve with a prior basis (warm
+	// start). The snapshot is validated against the problem shape and for
+	// internal consistency; on any mismatch the solver silently falls back
+	// to the crash basis, so a stale Start can cost speed but never
+	// correctness. Stats.WarmSolves/ColdSolves report which path ran.
+	Start *Basis
 }
 
 func (o Options) withDefaults(m, n int) Options {
@@ -114,6 +120,7 @@ type simplex struct {
 	degenerate int
 	bland      bool
 	priceStart int
+	warm       bool // solve was seeded from Options.Start
 
 	stats     Stats
 	start     time.Time
@@ -159,18 +166,20 @@ func (s *simplex) solve() (*Solution, error) {
 	if s.m == 0 {
 		return s.solveUnconstrained()
 	}
-	// Start from the all-slack basis; structural variables at a bound.
-	for j := 0; j < s.n; j++ {
-		s.status[j] = s.startStatus(j)
-		s.x[j] = s.startValue(j)
+	// Seed from the caller's basis when one is given and usable; a
+	// snapshot that fails validation or factorizes singular falls back to
+	// the all-slack crash basis (structural variables at a bound).
+	if b := s.opts.Start; b.compatibleWith(s.p) {
+		s.installBasis(b)
+		if s.fac.Factor(s.p.cols, s.basis) == nil {
+			s.warm = true
+		}
 	}
-	for i := 0; i < s.m; i++ {
-		q := s.p.numStruct + i
-		s.basis[i] = q
-		s.status[q] = basic
-	}
-	if err := s.fac.Factor(s.p.cols, s.basis); err != nil {
-		return nil, err
+	if !s.warm {
+		s.installCrashBasis()
+		if err := s.fac.Factor(s.p.cols, s.basis); err != nil {
+			return nil, err
+		}
 	}
 	s.stats.Refactorizations++
 	s.recomputeXB()
@@ -235,9 +244,25 @@ func (s *simplex) solveUnconstrained() (*Solution, error) {
 		obj = -obj
 	}
 	sol.Objective = obj
-	s.stats.Wall = time.Since(s.start)
+	s.finalizeStats()
 	sol.Stats = s.stats
 	return sol, nil
+}
+
+// finalizeStats stamps the per-solve totals and attributes them to the
+// warm- or cold-start ledger so aggregators can tell the two apart.
+func (s *simplex) finalizeStats() {
+	s.stats.Iterations = s.iter
+	s.stats.Wall = time.Since(s.start)
+	if s.warm {
+		s.stats.WarmSolves = 1
+		s.stats.WarmIterations = s.iter
+		s.stats.WarmRefactorizations = s.stats.Refactorizations
+	} else {
+		s.stats.ColdSolves = 1
+		s.stats.ColdIterations = s.iter
+		s.stats.ColdRefactorizations = s.stats.Refactorizations
+	}
 }
 
 func (s *simplex) startStatus(j int) colStatus {
@@ -585,13 +610,13 @@ func (s *simplex) loop(phase1 bool) error {
 }
 
 func (s *simplex) buildSolution() *Solution {
-	s.stats.Iterations = s.iter
-	s.stats.Wall = time.Since(s.start)
+	s.finalizeStats()
 	sol := &Solution{
 		X:          make([]float64, s.p.numStruct),
 		Duals:      make([]float64, s.m),
 		Iterations: s.iter,
 		Stats:      s.stats,
+		Basis:      s.snapshotBasis(),
 	}
 	obj := 0.0
 	for j := 0; j < s.p.numStruct; j++ {

@@ -31,6 +31,20 @@ type Stats struct {
 	// pricing rule (partial pricing makes this much smaller than
 	// Iterations * columns).
 	PricingScans int64
+	// WarmSolves and ColdSolves report whether the solve was seeded from
+	// a prior basis (Options.Start accepted) or from the crash basis. For
+	// one solve exactly one of them is 1; aggregated they count solves per
+	// start mode, so collectors never conflate the two populations.
+	WarmSolves int
+	ColdSolves int
+	// WarmIterations/ColdIterations and WarmRefactorizations/
+	// ColdRefactorizations split Iterations and Refactorizations by start
+	// mode. Per solve the matching field mirrors the total and the other
+	// is zero; aggregated sums satisfy Warm* + Cold* == total.
+	WarmIterations       int
+	ColdIterations       int
+	WarmRefactorizations int
+	ColdRefactorizations int
 	// Wall is the wall-clock time of the solve. It is the only
 	// nondeterministic field.
 	Wall time.Duration
@@ -45,6 +59,12 @@ func (s *Stats) Add(other Stats) {
 	s.BlandActivations += other.BlandActivations
 	s.BoundFlips += other.BoundFlips
 	s.PricingScans += other.PricingScans
+	s.WarmSolves += other.WarmSolves
+	s.ColdSolves += other.ColdSolves
+	s.WarmIterations += other.WarmIterations
+	s.ColdIterations += other.ColdIterations
+	s.WarmRefactorizations += other.WarmRefactorizations
+	s.ColdRefactorizations += other.ColdRefactorizations
 	s.Wall += other.Wall
 }
 

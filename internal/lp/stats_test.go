@@ -41,3 +41,41 @@ func TestStatsCollector(t *testing.T) {
 		t.Errorf("wall = %v, want %v", total.Wall, time.Duration(workers*each)*time.Millisecond)
 	}
 }
+
+// TestStatsWarmColdSeparation runs a real cold solve and a real warm
+// solve through a collector and checks the aggregate keeps the two
+// populations apart: solve counts, iterations and refactorizations must
+// each split exactly, with Warm* + Cold* equal to the conflated totals.
+func TestStatsWarmColdSeparation(t *testing.T) {
+	cold := solveLadder(t, 1, nil)
+	warm := solveLadder(t, 1.25, cold.Basis)
+	if cold.Stats.ColdSolves != 1 || cold.Stats.WarmIterations != 0 ||
+		cold.Stats.ColdIterations != cold.Stats.Iterations ||
+		cold.Stats.ColdRefactorizations != cold.Stats.Refactorizations {
+		t.Fatalf("cold solve ledger inconsistent: %+v", cold.Stats)
+	}
+	if warm.Stats.WarmSolves != 1 || warm.Stats.ColdIterations != 0 ||
+		warm.Stats.WarmIterations != warm.Stats.Iterations ||
+		warm.Stats.WarmRefactorizations != warm.Stats.Refactorizations {
+		t.Fatalf("warm solve ledger inconsistent: %+v", warm.Stats)
+	}
+
+	var c StatsCollector
+	c.Record(cold.Stats)
+	c.Record(warm.Stats)
+	n, total := c.Snapshot()
+	if n != 2 || total.WarmSolves != 1 || total.ColdSolves != 1 {
+		t.Fatalf("collector conflates start modes: n=%d %+v", n, total)
+	}
+	if total.WarmIterations+total.ColdIterations != total.Iterations {
+		t.Errorf("iteration split %d+%d != total %d",
+			total.WarmIterations, total.ColdIterations, total.Iterations)
+	}
+	if total.WarmIterations != warm.Stats.Iterations || total.ColdIterations != cold.Stats.Iterations {
+		t.Errorf("iteration attribution wrong: %+v", total)
+	}
+	if total.WarmRefactorizations+total.ColdRefactorizations != total.Refactorizations {
+		t.Errorf("refactorization split %d+%d != total %d",
+			total.WarmRefactorizations, total.ColdRefactorizations, total.Refactorizations)
+	}
+}

@@ -38,6 +38,11 @@ type Config struct {
 	// iterations (0 = solver default). Cancellation latency of a
 	// running job is one poll interval.
 	CheckEvery int
+	// ColdStart disables warm-start basis chaining inside job sweeps
+	// (see experiments.Options.ColdStart). The default chains each class
+	// column's solves over ascending QoS goals, reusing the previous
+	// basis; results are identical either way.
+	ColdStart bool
 	// MaxJobs bounds retained finished jobs (default 1024); the oldest
 	// finished jobs (and their cached results) are evicted beyond it.
 	MaxJobs int
@@ -228,6 +233,7 @@ func (s *Server) runJob(j *Job) {
 			SolveTimeout: s.cfg.SolveTimeout,
 			Ctx:          j.ctx,
 			OnCell:       j.setProgress,
+			ColdStart:    s.cfg.ColdStart,
 		}
 		if j.plan.solveTimeout > 0 {
 			opts.SolveTimeout = j.plan.solveTimeout

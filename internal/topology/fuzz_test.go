@@ -1,0 +1,66 @@
+package topology
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzTopologyJSON feeds arbitrary bytes to the JSON decoder: it must
+// reject bad inputs with an error, never panic, and anything it accepts
+// must satisfy the package invariants and survive a Write/Read round
+// trip unchanged.
+func FuzzTopologyJSON(f *testing.F) {
+	f.Add(`{"nodes":3,"origin":0,"links":[{"a":0,"b":1,"latencyMillis":50},{"a":1,"b":2,"latencyMillis":70}]}`)
+	f.Add(`{"origin":1,"latencyMillis":[[0,10],[10,0]]}`)
+	f.Add(`{"nodes":2,"links":[],"latencyMillis":[[0]]}`)
+	f.Add(`{"nodes":-1}`)
+	f.Add(`[]`)
+	f.Fuzz(func(t *testing.T, s string) {
+		tp, err := Read(strings.NewReader(s))
+		if err != nil {
+			return
+		}
+		if tp.N <= 0 {
+			t.Fatalf("accepted topology with N = %d", tp.N)
+		}
+		if tp.Origin < 0 || tp.Origin >= tp.N {
+			t.Fatalf("accepted origin %d outside [0, %d)", tp.Origin, tp.N)
+		}
+		if len(tp.Latency) != tp.N {
+			t.Fatalf("latency matrix has %d rows for %d nodes", len(tp.Latency), tp.N)
+		}
+		for i, row := range tp.Latency {
+			if len(row) != tp.N {
+				t.Fatalf("latency row %d has %d entries for %d nodes", i, len(row), tp.N)
+			}
+			for j, v := range row {
+				if math.IsNaN(v) || v < 0 {
+					t.Fatalf("latency[%d][%d] = %g", i, j, v)
+				}
+			}
+			if row[i] != 0 {
+				t.Fatalf("latency[%d][%d] = %g, want 0", i, i, row[i])
+			}
+		}
+		var buf bytes.Buffer
+		if err := tp.Write(&buf); err != nil {
+			t.Fatalf("re-encode of accepted topology failed: %v", err)
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("round trip of accepted topology failed: %v", err)
+		}
+		if back.N != tp.N || back.Origin != tp.Origin {
+			t.Fatalf("round trip changed shape: %d/%d -> %d/%d", tp.N, tp.Origin, back.N, back.Origin)
+		}
+		for i := range tp.Latency {
+			for j := range tp.Latency[i] {
+				if math.Abs(back.Latency[i][j]-tp.Latency[i][j]) > 1e-9 {
+					t.Fatalf("round trip changed latency[%d][%d]: %g -> %g", i, j, tp.Latency[i][j], back.Latency[i][j])
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,59 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// FuzzTraceJSON feeds arbitrary bytes to the trace decoder: it must
+// reject bad inputs with an error, never panic, and anything it accepts
+// must satisfy the validated invariants, bucket without panicking, and
+// survive a Write/Read round trip unchanged.
+func FuzzTraceJSON(f *testing.F) {
+	f.Add(`{"nodes":2,"objects":1,"durationMillis":3600000,"accesses":[{"atMillis":0,"node":1,"object":0}]}`)
+	f.Add(`{"nodes":1,"objects":1,"durationMillis":1000,"accesses":[]}`)
+	f.Add(`{"nodes":0,"objects":1,"durationMillis":1000}`)
+	f.Add(`{"nodes":2,"objects":2,"durationMillis":1000,"accesses":[{"atMillis":2000,"node":0,"object":0}]}`)
+	f.Add(`{"nodes":2,"objects":2,"durationMillis":9223372036854,"accesses":[{"atMillis":5,"node":1,"object":1,"write":true}]}`)
+	f.Fuzz(func(t *testing.T, s string) {
+		tr, err := Read(strings.NewReader(s))
+		if err != nil {
+			return
+		}
+		// The decoder promises a validated trace.
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("accepted trace fails Validate: %v", err)
+		}
+		// Bucketing an accepted trace must not panic; it may only fail for
+		// a bad interval, which time.Hour is not.
+		counts, err := tr.Bucket(time.Hour)
+		if err != nil {
+			t.Fatalf("accepted trace fails Bucket: %v", err)
+		}
+		if counts.Intervals <= 0 {
+			t.Fatalf("accepted trace bucketed into %d intervals", counts.Intervals)
+		}
+		var buf bytes.Buffer
+		if err := tr.Write(&buf); err != nil {
+			t.Fatalf("re-encode of accepted trace failed: %v", err)
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("round trip of accepted trace failed: %v", err)
+		}
+		if back.NumNodes != tr.NumNodes || back.NumObjects != tr.NumObjects ||
+			back.Duration.Milliseconds() != tr.Duration.Milliseconds() ||
+			len(back.Accesses) != len(tr.Accesses) {
+			t.Fatalf("round trip changed shape: %+v -> %+v", tr, back)
+		}
+		for i := range tr.Accesses {
+			a, b := tr.Accesses[i], back.Accesses[i]
+			if a.At.Milliseconds() != b.At.Milliseconds() || a.Node != b.Node ||
+				a.Object != b.Object || a.Write != b.Write {
+				t.Fatalf("round trip changed access %d: %+v -> %+v", i, a, b)
+			}
+		}
+	})
+}
