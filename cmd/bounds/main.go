@@ -42,8 +42,13 @@ func run() error {
 		solveTimeout = flag.Duration("solve-timeout", 0, "wall-clock cap per LP solve (0 = unlimited)")
 		warmStart    = flag.Bool("warm-start", true, "reuse each solution's basis to seed the next QoS point of a class (false = every cell solves cold)")
 		verbose      = flag.Bool("v", false, "print per-bound progress (incl. solver stats) to stderr")
+		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof on this address (empty = disabled)")
 	)
+	lpFlags := cli.RegisterLPFlags(flag.CommandLine)
 	flag.Parse()
+	cli.ServePprof(*pprofAddr, func(format string, args ...interface{}) {
+		fmt.Fprintf(os.Stderr, "bounds: "+format+"\n", args...)
+	})
 
 	if *classesFlag {
 		topo, err := topology.Generate(topology.GenOptions{N: 20, Seed: 1})
@@ -77,6 +82,9 @@ func run() error {
 		ColdStart:    !*warmStart,
 	}
 	opts.Bound.SkipRounding = *skipRound
+	if err := lpFlags.Apply(&opts.Bound.LP); err != nil {
+		return err
+	}
 	fig, err := experiments.Figure1(sys, opts, progress)
 	if err != nil {
 		return err

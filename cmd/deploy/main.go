@@ -33,6 +33,7 @@ func run(args []string, stdout io.Writer) error {
 		warmStart    = fs.Bool("warm-start", true, "reuse each solution's basis to seed the next QoS point of a class (false = every cell solves cold)")
 		verbose      = fs.Bool("v", false, "print per-bound progress (incl. solver stats) to stderr")
 	)
+	lpFlags := cli.RegisterLPFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -50,12 +51,16 @@ func run(args []string, stdout io.Writer) error {
 	}
 	ctx, stop := cli.SignalContext(context.Background())
 	defer stop()
-	res, err := experiments.Figure3(sys, experiments.Options{
+	opts := experiments.Options{
 		Parallel:     *parallel,
 		SolveTimeout: *solveTimeout,
 		Ctx:          ctx,
 		ColdStart:    !*warmStart,
-	}, cli.Progress(*verbose, os.Stderr))
+	}
+	if err := lpFlags.Apply(&opts.Bound.LP); err != nil {
+		return err
+	}
+	res, err := experiments.Figure3(sys, opts, cli.Progress(*verbose, os.Stderr))
 	if err != nil {
 		return err
 	}

@@ -15,6 +15,7 @@ import (
 	"os"
 	"time"
 
+	"wideplace/internal/cli"
 	"wideplace/internal/core"
 	"wideplace/internal/topology"
 	"wideplace/internal/workload"
@@ -45,6 +46,7 @@ func run(args []string, stdout io.Writer) error {
 		skipRound    = fs.Bool("skip-rounding", false, "LP bound only")
 		runLength    = fs.Bool("runlength", false, "enable the run-length rounding optimization")
 	)
+	lpFlags := cli.RegisterLPFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -87,10 +89,14 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 	start := time.Now()
-	b, err := inst.LowerBound(class, core.BoundOptions{
+	bopts := core.BoundOptions{
 		SkipRounding: *skipRound,
 		Round:        core.RoundOptions{RunLength: *runLength},
-	})
+	}
+	if err := lpFlags.Apply(&bopts.LP); err != nil {
+		return err
+	}
+	b, err := inst.LowerBound(class, bopts)
 	if err != nil {
 		return err
 	}

@@ -54,12 +54,18 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 		warmStart    = fs.Bool("warm-start", true, "reuse each solution's basis to seed the next QoS point of a class within a job (false = every cell solves cold)")
 		maxJobs      = fs.Int("max-jobs", 1024, "retained finished jobs")
 		drainTimeout = fs.Duration("drain-timeout", time.Minute, "grace period for in-flight jobs on shutdown")
+		pprofAddr    = fs.String("pprof", "", "serve net/http/pprof on this address (empty = disabled)")
 	)
+	lpFlags := cli.RegisterLPFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() > 0 {
 		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	presolveMode, rule, err := lpFlags.Resolve()
+	if err != nil {
+		return err
 	}
 
 	logger := log.New(logw, "placementd: ", log.LstdFlags)
@@ -70,8 +76,12 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 		SolveTimeout: *solveTimeout,
 		CheckEvery:   *checkEvery,
 		ColdStart:    !*warmStart,
+		Presolve:     presolveMode,
+		Pricing:      rule,
 		MaxJobs:      *maxJobs,
 	})
+
+	cli.ServePprof(*pprofAddr, logger.Printf)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -32,6 +32,7 @@ func run(args []string, stdout io.Writer) error {
 		warmStart    = fs.Bool("warm-start", true, "reuse each solution's basis to seed the next QoS point of the bound column (false = every cell solves cold)")
 		verbose      = fs.Bool("v", false, "print per-point progress to stderr")
 	)
+	lpFlags := cli.RegisterLPFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -46,12 +47,16 @@ func run(args []string, stdout io.Writer) error {
 	}
 	ctx, stop := cli.SignalContext(context.Background())
 	defer stop()
-	res, err := experiments.Figure2(sys, experiments.Options{
+	opts := experiments.Options{
 		Parallel:     *parallel,
 		SolveTimeout: *solveTimeout,
 		Ctx:          ctx,
 		ColdStart:    !*warmStart,
-	}, cli.Progress(*verbose, os.Stderr))
+	}
+	if err := lpFlags.Apply(&opts.Bound.LP); err != nil {
+		return err
+	}
+	res, err := experiments.Figure2(sys, opts, cli.Progress(*verbose, os.Stderr))
 	if err != nil {
 		return err
 	}

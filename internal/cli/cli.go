@@ -1,16 +1,21 @@
 // Package cli holds small helpers shared by the command-line binaries:
-// signal-driven cancellation and the common progress writer.
+// signal-driven cancellation, the common progress writer, the solver
+// configuration flags and the opt-in pprof listener.
 package cli
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"io"
+	"net/http"
+	_ "net/http/pprof" // registers profiling handlers on DefaultServeMux
 	"os"
 	"os/signal"
 	"syscall"
 
 	"wideplace/internal/experiments"
+	"wideplace/internal/lp"
 )
 
 // SignalContext returns a context that is canceled on SIGINT or SIGTERM.
@@ -31,4 +36,63 @@ func Progress(verbose bool, w io.Writer) experiments.Progress {
 	return func(format string, args ...interface{}) {
 		fmt.Fprintf(w, format+"\n", args...)
 	}
+}
+
+// LPFlags holds the solver-configuration flags shared by every
+// bound-computing binary; RegisterLPFlags wires them onto a flag set and
+// Resolve/Apply turn the parsed values into lp.Options fields. Both flags
+// only change solver effort, never bounds, so every binary exposes them
+// with identical semantics.
+type LPFlags struct {
+	presolve *bool
+	pricing  *string
+}
+
+// RegisterLPFlags registers -presolve and -pricing on fs.
+func RegisterLPFlags(fs *flag.FlagSet) *LPFlags {
+	return &LPFlags{
+		presolve: fs.Bool("presolve", true, "reduce each LP before solving (false = solve the full model; bounds are identical either way)"),
+		pricing:  fs.String("pricing", "devex", "simplex pricing rule: devex or dantzig"),
+	}
+}
+
+// Resolve validates the parsed flag values.
+func (f *LPFlags) Resolve() (lp.PresolveMode, lp.PricingRule, error) {
+	rule, ok := lp.ParsePricingRule(*f.pricing)
+	if !ok {
+		return 0, 0, fmt.Errorf("unknown pricing rule %q (want devex or dantzig)", *f.pricing)
+	}
+	mode := lp.PresolveOn
+	if !*f.presolve {
+		mode = lp.PresolveOff
+	}
+	return mode, rule, nil
+}
+
+// Apply validates the parsed flag values and writes them into o.
+func (f *LPFlags) Apply(o *lp.Options) error {
+	mode, rule, err := f.Resolve()
+	if err != nil {
+		return err
+	}
+	o.Presolve = mode
+	o.Pricing = rule
+	return nil
+}
+
+// ServePprof starts net/http/pprof on its own listener when addr is
+// non-empty. Profiling stays opt-in and separate from any public address:
+// the handlers live on http.DefaultServeMux, which none of the binaries
+// otherwise serve. Errors are reported through logf; the listener runs
+// until the process exits.
+func ServePprof(addr string, logf func(format string, args ...interface{})) {
+	if addr == "" {
+		return
+	}
+	go func() {
+		logf("pprof listening on %s", addr)
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			logf("pprof server: %v", err)
+		}
+	}()
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"wideplace/internal/lp"
 )
@@ -56,12 +57,19 @@ type Bound struct {
 	Basis *lp.Basis
 }
 
-// Gap returns the relative rounding gap (feasible - bound) / bound.
+// Gap returns the relative rounding gap (feasible - bound) / bound. A
+// zero LP bound with a positive feasible cost reports +Inf: the gap is
+// genuinely unbounded there, and the old behavior of reporting 0 hid a
+// nonzero rounding gap behind the most reassuring possible number. Only
+// when both costs are zero is the gap actually closed.
 func (b *Bound) Gap() float64 {
-	if b.LPBound <= 0 {
-		return 0
+	if b.LPBound > 0 {
+		return (b.FeasibleCost - b.LPBound) / b.LPBound
 	}
-	return (b.FeasibleCost - b.LPBound) / b.LPBound
+	if b.FeasibleCost > 0 {
+		return math.Inf(1)
+	}
+	return 0
 }
 
 // LowerBound computes the class's lower bound via the LP relaxation and,
@@ -93,6 +101,15 @@ func (in *Instance) qosLowerBound(class *Class, opts BoundOptions) (*Bound, erro
 		}
 		return nil, fmt.Errorf("solve %s bound: %w", class.Name, err)
 	}
+	return in.finishQoSBound(class, b, sol, opts)
+}
+
+// finishQoSBound turns an LP solution of the MC-PERF relaxation into a
+// Bound: perturbation correction, open-variable and penalty extraction,
+// and the rounding certificate. Shared by the fresh-build path above and
+// the compiled rebind path (CompiledQoS.LowerBound), which must interpret
+// solutions identically.
+func (in *Instance) finishQoSBound(class *Class, b *buildResult, sol *lp.Solution, opts BoundOptions) (*Bound, error) {
 	out := &Bound{
 		Class:        class.Name,
 		LPBound:      sol.Objective,

@@ -28,6 +28,13 @@ type buildResult struct {
 	// qosRow[n] is the index of node n's QoS constraint row (-1 if the
 	// goal is trivially met for n or scope is Overall).
 	qosRow []int
+	// collectQoS makes addQoSRows record rebind metadata in qosMeta and,
+	// for Overall scope, emit the aggregate row even while it is slack —
+	// so a compiled problem can be rebound to any attainable goal instead
+	// of only the one it was built at. Off for plain one-shot builds,
+	// which stay byte-identical to the historical model.
+	collectQoS bool
+	qosMeta    []qosRowMeta
 	// perturb is the tiny objective coefficient placed on store variables
 	// of capacity-charged (SC/RC) classes to break the massive dual
 	// degeneracy their zero store costs would otherwise cause. The solved
@@ -41,6 +48,12 @@ type buildResult struct {
 // (constraints 2-6 plus the class constraints of Section 4 and the cost
 // extensions of Section 3.2).
 func (in *Instance) buildQoSLP(class *Class) (*buildResult, error) {
+	return in.buildQoSLPMeta(class, false)
+}
+
+// buildQoSLPMeta is buildQoSLP with the rebind-metadata switch exposed;
+// collectQoS additionally records per-row goal data (see buildResult).
+func (in *Instance) buildQoSLPMeta(class *Class, collectQoS bool) (*buildResult, error) {
 	if in.Goal.Kind != QoSGoal {
 		return nil, fmt.Errorf("core: buildQoSLP called with goal kind %d", in.Goal.Kind)
 	}
@@ -57,6 +70,7 @@ func (in *Instance) buildQoSLP(class *Class) (*buildResult, error) {
 		reach:         in.Reach(class),
 		createOK:      in.createAllowed(class),
 		qosRow:        make([]int, nN),
+		collectQoS:    collectQoS,
 	}
 	for n := range b.openIdx {
 		b.openIdx[n] = -1
@@ -219,10 +233,18 @@ func (in *Instance) addPlacementCore(b *buildResult, class *Class) error {
 // addQoSRows emits constraint (2) for the configured scope. For node n the
 // row is: sum over read-positive (i,k) of read*covered >= Tqos*R_n minus
 // the constant coverage contributed by the origin's permanent copies.
+//
+// For PerUser scope the row SET is goal-independent: a row exists exactly
+// for nodes with positive read totals that the origin does not cover
+// (constCovered is zero there, so the right-hand side Tqos*R_n is
+// positive for every Tqos in (0,1]). That invariant is what makes a
+// compiled problem rebindable — moving the goal only moves right-hand
+// sides, never adds or removes rows.
 func (in *Instance) addQoSRows(b *buildResult) error {
 	nN, nI, nK := in.Dims()
 	var overallCoefs []lp.Coef
 	overallRHS := 0.0
+	overallTotal, overallConst := 0.0, 0.0
 	for n := 0; n < nN; n++ {
 		total := 0.0
 		constCovered := 0.0
@@ -257,20 +279,37 @@ func (in *Instance) addQoSRows(b *buildResult) error {
 					ErrGoalUnattainable, n, (maxAttain+constCovered)/total, in.Goal.Tqos)
 			}
 			b.qosRow[n] = b.model.AddGE(coefs, rhs, "")
+			if b.collectQoS {
+				b.qosMeta = append(b.qosMeta, qosRowMeta{
+					node: n, row: b.qosRow[n],
+					total: total, constCovered: constCovered, maxAttain: maxAttain,
+				})
+			}
 		case Overall:
 			overallCoefs = append(overallCoefs, coefs...)
 			overallRHS += rhs
+			overallTotal += total
+			overallConst += constCovered
 		}
 	}
-	if in.Goal.Scope == Overall && overallRHS > 0 {
+	if in.Goal.Scope == Overall && (overallRHS > 0 || b.collectQoS && len(overallCoefs) > 0) {
 		maxAttain := 0.0
 		for _, c := range overallCoefs {
 			maxAttain += c.Value
 		}
-		if maxAttain < overallRHS {
+		if overallRHS > 0 && maxAttain < overallRHS {
 			return ErrGoalUnattainable
 		}
-		b.model.AddGE(overallCoefs, overallRHS, "")
+		// A currently-slack aggregate row (overallRHS <= 0) is emitted only
+		// on rebindable builds: it never binds at this goal, but a later
+		// Rebind to a higher goal needs the row to exist.
+		row := b.model.AddGE(overallCoefs, overallRHS, "")
+		if b.collectQoS {
+			b.qosMeta = append(b.qosMeta, qosRowMeta{
+				node: -1, row: row,
+				total: overallTotal, constCovered: overallConst, maxAttain: maxAttain,
+			})
+		}
 	}
 	return nil
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"time"
 
@@ -153,19 +154,32 @@ func PlanDeployment(topo *topology.Topology, trace *workload.Trace, delta time.D
 		v    float64
 	}
 	cands := make([]cand, 0, topo.N)
+	mass := 0.0
 	for n := 0; n < topo.N; n++ {
 		if n == topo.Origin {
 			continue
 		}
 		cands = append(cands, cand{node: n, v: p1bound.Open[n]})
+		mass += p1bound.Open[n]
 	}
 	sort.SliceStable(cands, func(a, b int) bool { return cands[a].v > cands[b].v })
 
+	// Size the deployment by the LP's total open mass, not by per-site
+	// fractions: which sites carry the fractions is an artifact of the
+	// optimal vertex the solver lands on (degenerate optima abound), but
+	// the mass itself is monotone in the opening cost — a higher zeta can
+	// never justify more open capacity. The top-ranked candidates then
+	// fill that budget.
+	k := int(math.Ceil(mass - 1e-6))
+	if k < 0 {
+		k = 0
+	}
+	if k > len(cands) {
+		k = len(cands)
+	}
 	open := []int{topo.Origin}
-	for _, c := range cands {
-		if c.v > 0.01 {
-			open = append(open, c.node)
-		}
+	for _, c := range cands[:k] {
+		open = append(open, c.node)
 	}
 	sort.Ints(open)
 

@@ -7,8 +7,25 @@ import (
 	"runtime"
 	"testing"
 
+	"wideplace/internal/core"
 	"wideplace/internal/lp"
 )
+
+// legacyOptions pins a sweep to the engine's pre-presolve configuration:
+// Dantzig partial pricing, no presolve layer, no compiled-problem rebind.
+// The Warm/Cold benchmarks and the SolverCold record run under these pins
+// so their history stays comparable across engine revisions; the default
+// path is measured separately (BenchmarkSweepPresolved, Solver record).
+func legacyOptions(cold bool) Options {
+	return Options{
+		Parallel:  1,
+		ColdStart: cold,
+		NoRebind:  true,
+		Bound: core.BoundOptions{
+			LP: lp.Options{Pricing: lp.PricingDantzig, Presolve: lp.PresolveOff},
+		},
+	}
+}
 
 // benchSpec is the fixed instance every sweep benchmark runs: small
 // enough for CI, large enough that the LP dominates setup. Changing it
@@ -65,20 +82,28 @@ func benchLadderSpec(tb testing.TB) *System {
 	return sys
 }
 
-func benchLadderSweep(b *testing.B, cold bool) {
+func benchLadderSweep(b *testing.B, opts Options) {
 	sys := benchLadderSpec(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Figure1(sys, Options{Parallel: 1, ColdStart: cold}, nil); err != nil {
+		if _, err := Figure1(sys, opts, nil); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
 
-// BenchmarkSweepWarm/Cold isolate the warm-start speedup: one serial
-// sweep of the ladder instance with and without basis chaining.
-func BenchmarkSweepWarm(b *testing.B) { benchLadderSweep(b, false) }
-func BenchmarkSweepCold(b *testing.B) { benchLadderSweep(b, true) }
+// BenchmarkSweepWarm/Cold isolate the warm-start speedup on the legacy
+// (pre-presolve) path: one serial sweep of the ladder instance with and
+// without basis chaining, both under legacyOptions so the series stays
+// comparable with its recorded history.
+func BenchmarkSweepWarm(b *testing.B) { benchLadderSweep(b, legacyOptions(false)) }
+func BenchmarkSweepCold(b *testing.B) { benchLadderSweep(b, legacyOptions(true)) }
+
+// BenchmarkSweepPresolved is the same serial ladder sweep under the
+// engine defaults: presolve, devex pricing, compiled-problem rebind and
+// warm chaining. Its gap to BenchmarkSweepWarm is the speedup the
+// solver-speed layer buys over plain warm chaining.
+func BenchmarkSweepPresolved(b *testing.B) { benchLadderSweep(b, Options{Parallel: 1}) }
 
 // benchSweepEntry is one benchmark's wall-time measurement.
 type benchSweepEntry struct {
@@ -100,6 +125,12 @@ type benchSolver struct {
 	ColdSolves       int   `json:"coldSolves,omitempty"`
 	WarmIterations   int   `json:"warmIterations,omitempty"`
 	ColdIterations   int   `json:"coldIterations,omitempty"`
+	// Presolve/rebind/pricing counters, zero (and omitted) on records
+	// predating the solver-speed layer and on legacy-pinned sweeps.
+	PresolveRowsRemoved int    `json:"presolveRowsRemoved,omitempty"`
+	PresolveColsRemoved int    `json:"presolveColsRemoved,omitempty"`
+	RebindSolves        int    `json:"rebindSolves,omitempty"`
+	Pricing             string `json:"pricing,omitempty"`
 }
 
 // benchRecord is one data point of BENCH_sweep.json: wall time per sweep
@@ -111,9 +142,10 @@ type benchRecord struct {
 	GoVersion  string            `json:"goVersion"`
 	GOMAXPROCS int               `json:"gomaxprocs"`
 	Sweeps     []benchSweepEntry `json:"sweeps"`
-	// Solver counts the default (warm-chained) serial benchSpec sweep;
-	// SolverCold the same sweep with ColdStart, so the pair shows how
-	// much simplex work warm starting saves.
+	// Solver counts the default serial benchSpec sweep (warm chaining,
+	// presolve, devex, rebind — whatever the engine's defaults are at
+	// that revision); SolverCold pins the same sweep to the legacy cold
+	// path so its series stays comparable across engine revisions.
 	Solver     benchSolver  `json:"solver"`
 	SolverCold *benchSolver `json:"solverCold,omitempty"`
 }
@@ -132,7 +164,42 @@ func solverCounters(fig *Figure) benchSolver {
 	out.ColdSolves = agg.ColdSolves
 	out.WarmIterations = agg.WarmIterations
 	out.ColdIterations = agg.ColdIterations
+	out.PresolveRowsRemoved = agg.PresolveRowsRemoved
+	out.PresolveColsRemoved = agg.PresolveColsRemoved
+	out.RebindSolves = agg.RebindSolves
+	out.Pricing = agg.PricingRule
 	return out
+}
+
+// TestLegacyColdCountersMatchRecord pins the legacy (Dantzig, no-presolve,
+// no-rebind) cold path to the counters recorded in BENCH_sweep.json before
+// the solver-speed layer landed: under those pins the engine must retrace
+// the old path step for step.
+func TestLegacyColdCountersMatchRecord(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full legacy cold sweep")
+	}
+	sys := benchSpec(t)
+	fig, err := Figure1(sys, legacyOptions(true), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := solverCounters(fig)
+	got.Pricing = ""
+	want := benchSolver{
+		Cells:            12,
+		Iterations:       9765,
+		Phase1Iterations: 4513,
+		Refactorizations: 155,
+		DegenerateSteps:  8147,
+		BoundFlips:       13,
+		PricingScans:     11361061,
+		ColdSolves:       8,
+		ColdIterations:   9765,
+	}
+	if got != want {
+		t.Errorf("legacy cold counters drifted from the recorded path:\ngot  %+v\nwant %+v", got, want)
+	}
 }
 
 // TestWriteBenchJSON appends a data point to BENCH_sweep.json when
@@ -174,6 +241,7 @@ func TestWriteBenchJSON(t *testing.T) {
 		{"SweepParallel", BenchmarkSweepParallel},
 		{"SweepWarm", BenchmarkSweepWarm},
 		{"SweepCold", BenchmarkSweepCold},
+		{"SweepPresolved", BenchmarkSweepPresolved},
 	} {
 		res := testing.Benchmark(bench.fn)
 		rec.Sweeps = append(rec.Sweeps, benchSweepEntry{bench.name, res.NsPerOp(), res.N})
@@ -188,11 +256,15 @@ func TestWriteBenchJSON(t *testing.T) {
 		t.Fatal(err)
 	}
 	rec.Solver = solverCounters(warmFig)
-	coldFig, err := Figure1(sys, Options{Parallel: 1, ColdStart: true}, nil)
+	coldFig, err := Figure1(sys, legacyOptions(true), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	cold := solverCounters(coldFig)
+	// The cold record stays pinned to the legacy path so its counter
+	// series remains comparable; drop the pricing tag to keep the JSON
+	// block byte-identical to pre-presolve records.
+	cold.Pricing = ""
 	rec.SolverCold = &cold
 
 	recJSON, err := json.Marshal(&rec)

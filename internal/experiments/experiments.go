@@ -280,9 +280,14 @@ func (f *Figure) WriteTSV(w io.Writer) error {
 	// time stays in the progress logs), so the TSV is byte-identical across
 	// parallel and serial sweeps.
 	cells, agg := f.SolverStats()
-	_, err := fmt.Fprintf(w, "# solver: cells=%d lp-iterations=%d phase1-iterations=%d refactorizations=%d degenerate-steps=%d bland-activations=%d bound-flips=%d pricing-scans=%d\n",
+	pricing := agg.PricingRule
+	if pricing == "" {
+		pricing = "none"
+	}
+	_, err := fmt.Fprintf(w, "# solver: cells=%d lp-iterations=%d phase1-iterations=%d refactorizations=%d degenerate-steps=%d bland-activations=%d bound-flips=%d pricing-scans=%d presolve-rows-removed=%d presolve-cols-removed=%d rebind-solves=%d pricing=%s\n",
 		cells, agg.Iterations, agg.Phase1Iterations, agg.Refactorizations,
-		agg.DegenerateSteps, agg.BlandActivations, agg.BoundFlips, agg.PricingScans)
+		agg.DegenerateSteps, agg.BlandActivations, agg.BoundFlips, agg.PricingScans,
+		agg.PresolveRowsRemoved, agg.PresolveColsRemoved, agg.RebindSolves, pricing)
 	return err
 }
 
@@ -304,6 +309,19 @@ func (f *Figure) SolverStats() (cells int, agg lp.Stats) {
 // infeasible points) lets warm chains seed the next solve in a column.
 func boundPoint(inst *core.Instance, class *core.Class, tqos float64, opts core.BoundOptions) (Point, *lp.Basis, error) {
 	b, err := inst.LowerBound(class, opts)
+	if err != nil {
+		if errors.Is(err, core.ErrGoalUnattainable) {
+			return Point{Class: class.Name, QoS: tqos, Infeasible: true}, nil, nil
+		}
+		return Point{}, nil, err
+	}
+	return Point{Class: class.Name, QoS: tqos, Bound: b.LPBound, Feasible: b.FeasibleCost, Stats: b.Stats}, b.Basis, nil
+}
+
+// reboundPoint is boundPoint for the compiled-problem path: the model was
+// already built and (re)bound to tqos, only the solve remains.
+func reboundPoint(comp *core.CompiledQoS, class *core.Class, tqos float64, opts core.BoundOptions) (Point, *lp.Basis, error) {
+	b, err := comp.LowerBound(opts)
 	if err != nil {
 		if errors.Is(err, core.ErrGoalUnattainable) {
 			return Point{Class: class.Name, QoS: tqos, Infeasible: true}, nil, nil

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -36,6 +37,16 @@ type Options struct {
 	// cell solves from the crash basis and the grid fans out per cell;
 	// bounds are identical either way, only solver effort differs.
 	ColdStart bool
+	// NoRebind disables compiled-problem reuse along a warm column. By
+	// default each class column compiles its MC-PERF model once and moves
+	// only the QoS rows' right-hand sides between goals
+	// (core.CompiledQoS.Rebind); with NoRebind every cell rebuilds and
+	// recompiles the model from scratch, the pre-rebind behavior. The
+	// compiled model is identical to the fresh build at every attainable
+	// goal, so results match either way; only model-construction work
+	// differs. Irrelevant under ColdStart, whose per-cell grid never
+	// reuses anything.
+	NoRebind bool
 	// Ctx cancels the whole sweep (nil = context.Background()).
 	Ctx context.Context
 	// OnCell, when non-nil, receives (done, total) after every completed
@@ -194,21 +205,65 @@ func ascendingQoS(qos []float64) []int {
 // infeasible point keeps the chain's last good basis: on an ascending
 // ladder, tighter goals after a failure still warm-start from the last
 // feasible solve's basis.
+// By default the column also compiles its model only once: the first
+// attainable goal builds a core.CompiledQoS and later goals move just the
+// QoS right-hand sides (Rebind), skipping the per-cell model rebuild. An
+// unattainable rebind reports the cell infeasible and leaves the compiled
+// problem at its last good goal, mirroring how the fresh-build path skips
+// the cell.
 func solveColumn(ctx context.Context, cache *instanceCache, class *core.Class, qos []float64, opts Options, progress Progress, tick func(), out func(qi int, p Point)) error {
-	var start *lp.Basis
+	var (
+		start *lp.Basis
+		comp  *core.CompiledQoS
+	)
 	for _, qi := range ascendingQoS(qos) {
 		if ctx.Err() != nil {
 			return context.Cause(ctx)
 		}
 		q := qos[qi]
-		inst, err := cache.get(q)
-		if err != nil {
-			return err
-		}
 		bo := opts.boundOptions(ctx)
 		bo.LP.Start = start
 		startT := time.Now()
-		p, basis, err := boundPoint(inst, class, q, bo)
+		var (
+			p     Point
+			basis *lp.Basis
+			err   error
+		)
+		switch {
+		case opts.NoRebind:
+			inst, ierr := cache.get(q)
+			if ierr != nil {
+				return ierr
+			}
+			p, basis, err = boundPoint(inst, class, q, bo)
+		case comp == nil:
+			// No compiled problem yet (first cell, or every goal so far
+			// was unattainable at build time): compile at this goal.
+			inst, ierr := cache.get(q)
+			if ierr != nil {
+				return ierr
+			}
+			var cerr error
+			comp, cerr = inst.CompileQoS(class)
+			switch {
+			case errors.Is(cerr, core.ErrGoalUnattainable):
+				p = Point{Class: class.Name, QoS: q, Infeasible: true}
+				comp = nil
+			case cerr != nil:
+				err = cerr
+			default:
+				p, basis, err = reboundPoint(comp, class, q, bo)
+			}
+		default:
+			switch rerr := comp.Rebind(q); {
+			case errors.Is(rerr, core.ErrGoalUnattainable):
+				p = Point{Class: class.Name, QoS: q, Infeasible: true}
+			case rerr != nil:
+				err = rerr
+			default:
+				p, basis, err = reboundPoint(comp, class, q, bo)
+			}
+		}
 		if err != nil {
 			return fmt.Errorf("%s at %g: %w", class.Name, q, err)
 		}

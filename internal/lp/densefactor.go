@@ -8,8 +8,11 @@ import "fmt"
 type DenseFactor struct {
 	m    int
 	lu   []float64 // m*m, row-major, combined L (unit diag) and U
+	luT  []float64 // m*m transpose of lu: Btran's solves read it row-contiguously
 	perm []int     // row permutation: P*B = L*U; perm[i] = original row of factor row i
 	etas etaFile
+
+	scratch []float64 // per-solve work vector, reused across Ftran/Btran calls
 
 	maxEtas int
 	pivTol  float64
@@ -87,15 +90,37 @@ func (d *DenseFactor) Factor(a *CSC, basis []int) error {
 			}
 		}
 	}
+	// Keep a transposed copy: the lu array is row-major, so Btran's
+	// transposed solves would otherwise walk it with stride m — the
+	// dominant cost of a dense solve is those cache misses, not flops.
+	if cap(d.luT) < m*m {
+		d.luT = make([]float64, m*m)
+	} else {
+		d.luT = d.luT[:m*m]
+	}
+	for i := 0; i < m; i++ {
+		row := d.lu[i*m : i*m+m]
+		for k, v := range row {
+			d.luT[k*m+i] = v
+		}
+	}
 	d.etas.reset()
 	return nil
+}
+
+// work returns the reusable length-m scratch vector.
+func (d *DenseFactor) work() []float64 {
+	if cap(d.scratch) < d.m {
+		d.scratch = make([]float64, d.m)
+	}
+	return d.scratch[:d.m]
 }
 
 // Ftran implements Factorizer: solves B*x = b in place.
 func (d *DenseFactor) Ftran(b []float64) {
 	m := d.m
 	// Apply permutation: solve P*B = LU, so LU*x = P*b.
-	tmp := make([]float64, m)
+	tmp := d.work()
 	for i := 0; i < m; i++ {
 		tmp[i] = b[d.perm[i]]
 	}
@@ -121,25 +146,38 @@ func (d *DenseFactor) Ftran(b []float64) {
 	d.etas.ftranApply(b)
 }
 
-// Btran implements Factorizer: solves B^T*y = c in place.
+// Btran implements Factorizer: solves B^T*y = c in place. The transposed
+// solves read luT (lu's transpose) so every inner loop streams a
+// contiguous row; lu[k*m+i] for running k is luT[i*m+k].
 func (d *DenseFactor) Btran(c []float64) {
 	d.etas.btranApply(c)
 	m := d.m
-	tmp := make([]float64, m)
+	tmp := d.work()
 	copy(tmp, c)
 	// Solve (LU)^T z = c: first U^T w = c (forward), then L^T z = w
 	// (backward), then y = P^T z.
-	for i := 0; i < m; i++ {
+	//
+	// The forward solve preserves a zero prefix: rows before the first
+	// nonzero of c stay zero and contribute nothing downstream, so start
+	// both loops there. Near-unit right-hand sides (pricing vectors, the
+	// devex reference row) skip most of the triangle this way.
+	first := 0
+	for first < m && tmp[first] == 0 {
+		first++
+	}
+	for i := first; i < m; i++ {
 		s := tmp[i]
-		for k := 0; k < i; k++ {
-			s -= d.lu[k*m+i] * tmp[k]
+		row := d.luT[i*m : i*m+m]
+		for k := first; k < i; k++ {
+			s -= row[k] * tmp[k]
 		}
-		tmp[i] = s / d.lu[i*m+i]
+		tmp[i] = s / row[i]
 	}
 	for i := m - 1; i >= 0; i-- {
 		s := tmp[i]
+		row := d.luT[i*m : i*m+m]
 		for k := i + 1; k < m; k++ {
-			s -= d.lu[k*m+i] * tmp[k]
+			s -= row[k] * tmp[k]
 		}
 		tmp[i] = s
 	}

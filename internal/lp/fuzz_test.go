@@ -1,6 +1,7 @@
 package lp
 
 import (
+	"errors"
 	"math"
 	"testing"
 )
@@ -117,10 +118,12 @@ func checkPrimalFeasible(t *testing.T, m *Model, sol *Solution) {
 
 // FuzzSolve throws arbitrary small LPs at the solver: it must never
 // panic, and whenever it reports success the returned point must satisfy
-// every bound and constraint within tolerance. A successful solve is then
-// re-solved warm from its own basis, which must reproduce the optimal
-// value — this drives the warm-start validation and repair paths with
-// adversarial bases-to-problem pairings.
+// every bound and constraint within tolerance. Every instance is solved
+// both with and without the presolve layer and the two runs must agree on
+// classification and optimum. A successful solve is then re-solved warm
+// from its own (postsolved) basis, which must reproduce the optimal
+// value — this drives the warm-start validation, repair and presolve
+// basis-mapping paths with adversarial bases-to-problem pairings.
 func FuzzSolve(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{3, 2, 1, 0x10, 0x20, 3, 8, 0xF0, 0x08, 1, 4, 8, 16, 0x18, 0x28, 2})
@@ -128,9 +131,40 @@ func FuzzSolve(f *testing.F) {
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m := fuzzModel(data)
 		sol, err := SolveModel(m, Options{MaxIter: 5000})
+		plain, perr := SolveModel(m, Options{MaxIter: 5000, Presolve: PresolveOff})
+		// The presolve layer must be invisible: both solves must agree on
+		// the problem's classification (an iteration-limit or numerical
+		// truncation on either side leaves it undetermined) and, when both
+		// succeed, on the optimal value. The agreement tolerance is the
+		// solver's own termination tolerance scaled by the total objective
+		// mass the variables can move — the bound simplex termination
+		// actually guarantees.
+		definite := func(e error) bool {
+			return !errors.Is(e, ErrIterLimit) && !errors.Is(e, ErrNumerical)
+		}
+		if definite(err) && definite(perr) && (err == nil) != (perr == nil) {
+			t.Fatalf("presolve classification mismatch: presolved err=%v, plain err=%v", err, perr)
+		}
+		if err == nil && perr == nil {
+			mass := 1 + math.Abs(sol.Objective)
+			for _, v := range m.vars {
+				span := v.hi - v.lo
+				if math.IsInf(span, 1) {
+					span = 32
+				}
+				mass += math.Abs(v.obj) * span
+			}
+			if d := math.Abs(sol.Objective - plain.Objective); d > 1e-7*mass {
+				t.Fatalf("presolved optimum %g != plain optimum %g (diff %g, allowed %g)",
+					sol.Objective, plain.Objective, d, 1e-7*mass)
+			}
+			checkPrimalFeasible(t, m, plain)
+		}
 		if err != nil {
 			return // infeasible, unbounded or truncated: all legitimate
 		}
+		// The postsolved point must satisfy the original model, not just
+		// the reduced one.
 		checkPrimalFeasible(t, m, sol)
 
 		warm, err := SolveModel(m, Options{MaxIter: 5000, Start: sol.Basis})

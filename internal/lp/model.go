@@ -199,6 +199,29 @@ func (p *Problem) NumStruct() int { return p.numStruct }
 // NumRows reports the number of constraint rows.
 func (p *Problem) NumRows() int { return p.numRows }
 
+// SetRowBounds replaces the bounds of constraint row i with [lo, hi] and
+// leaves the matrix untouched. In the internal standard form a row's
+// bounds live on its slack column, so rebinding is a two-float write: the
+// compiled matrix, variable order and every prior Solution stay valid,
+// which is what lets parameter sweeps compile one Problem and move only
+// the right-hand sides between solves. The Problem must not be solved
+// concurrently with a SetRowBounds call.
+func (p *Problem) SetRowBounds(i int, lo, hi float64) error {
+	if i < 0 || i >= p.numRows {
+		return fmt.Errorf("lp: SetRowBounds row %d out of range [0, %d)", i, p.numRows)
+	}
+	if math.IsNaN(lo) || math.IsNaN(hi) || lo > hi {
+		return fmt.Errorf("lp: SetRowBounds row %d: invalid bounds [%g, %g]", i, lo, hi)
+	}
+	p.lo[p.numStruct+i], p.hi[p.numStruct+i] = lo, hi
+	return nil
+}
+
+// RowBounds returns the current bounds of constraint row i.
+func (p *Problem) RowBounds(i int) (lo, hi float64) {
+	return p.lo[p.numStruct+i], p.hi[p.numStruct+i]
+}
+
 // Solution holds the result of a successful solve.
 type Solution struct {
 	// Objective is the optimal objective in the user's original sense.

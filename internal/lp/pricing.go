@@ -1,0 +1,139 @@
+package lp
+
+// PricingRule selects the simplex entering-column (pricing) rule.
+type PricingRule int
+
+// Available pricing rules. The zero value resolves to the default rule so
+// a zero Options struct always gets the recommended configuration.
+const (
+	// PricingAuto resolves to the default rule (currently devex).
+	PricingAuto PricingRule = iota
+	// PricingDevex prices with reference-framework devex weights: each
+	// candidate's reduced cost is normalized by an evolving estimate of
+	// its steepest-edge norm, which steers the solver away from the short
+	// degenerate steps that plain Dantzig pricing is drawn to.
+	PricingDevex
+	// PricingDantzig restores the classic rule: largest reduced cost over
+	// a rotating partial-pricing window (Options.SectionSize).
+	PricingDantzig
+)
+
+// String names the rule as it appears in Stats.PricingRule and reports.
+func (r PricingRule) String() string {
+	switch r {
+	case PricingDevex:
+		return "devex"
+	case PricingDantzig:
+		return "dantzig"
+	default:
+		return "auto"
+	}
+}
+
+// ParsePricingRule maps a command-line flag value onto a rule.
+func ParsePricingRule(s string) (PricingRule, bool) {
+	switch s {
+	case "", "auto":
+		return PricingAuto, true
+	case "devex":
+		return PricingDevex, true
+	case "dantzig":
+		return PricingDantzig, true
+	default:
+		return PricingAuto, false
+	}
+}
+
+// devexResetLimit caps the devex weights: when any weight outgrows it the
+// reference framework has drifted too far and all weights reset to 1.
+const devexResetLimit = 1e12
+
+// initDevex allocates and resets the devex state. Called once per solve
+// when the devex rule is active.
+func (s *simplex) initDevex() {
+	s.gamma = make([]float64, s.n)
+	s.beta = make([]float64, s.m)
+	s.resetDevex()
+}
+
+// resetDevex restarts the reference framework: every column's weight
+// becomes 1 (the framework is the current nonbasic set).
+func (s *simplex) resetDevex() {
+	for j := range s.gamma {
+		s.gamma[j] = 1
+	}
+}
+
+// devexPrice selects the entering column by the largest d_j^2 / gamma_j
+// ratio over all eligible columns. Unlike partial Dantzig pricing it
+// always scans the full column set: the weights are only meaningful
+// relative to each other, and the scan shares the duals already computed
+// for this iteration, so the extra cost is one pass over the matrix.
+func (s *simplex) devexPrice(phase1 bool) (entering int, dir float64) {
+	tol := s.opts.Tol
+	bestJ, bestRank, bestDir := -1, 0.0, 0.0
+	for j := 0; j < s.n; j++ {
+		sc, dj := s.score(j, phase1)
+		if sc <= tol {
+			continue
+		}
+		if rank := sc * sc / s.gamma[j]; rank > bestRank {
+			bestJ, bestRank, bestDir = j, rank, dj
+		}
+	}
+	s.stats.PricingScans += int64(s.n)
+	return bestJ, bestDir
+}
+
+// devexUpdate refreshes the weights after a basis change: entering column
+// q pivoted in at basis position pos (leaving column leave). It must run
+// before the factorization absorbs the pivot, because the update needs
+// the pivot row of the outgoing basis inverse. s.w still holds the FTRAN
+// image of the entering column.
+func (s *simplex) devexUpdate(q, pos, leave int) {
+	aq := s.w[pos]
+	if aq == 0 {
+		return
+	}
+	// beta = e_pos^T B^-1: the pivot row of the pre-pivot basis inverse.
+	for i := range s.beta {
+		s.beta[i] = 0
+	}
+	s.beta[pos] = 1
+	s.fac.Btran(s.beta)
+	// For every nonbasic column j with pivot-row entry alpha_j, the new
+	// weight is max(gamma_j, (alpha_j/alpha_q)^2 * gamma_q).
+	scale := s.gamma[q] / (aq * aq)
+	maxG := 1.0
+	for j := 0; j < s.n; j++ {
+		if s.status[j] == basic || j == q {
+			continue
+		}
+		ri, rv := s.p.cols.Col(j)
+		alpha := 0.0
+		for k, r := range ri {
+			alpha += s.beta[r] * rv[k]
+		}
+		if alpha != 0 {
+			if cand := alpha * alpha * scale; cand > s.gamma[j] {
+				s.gamma[j] = cand
+			}
+		}
+		if s.gamma[j] > maxG {
+			maxG = s.gamma[j]
+		}
+	}
+	// The leaving column's weight estimates its steepest-edge norm in the
+	// new basis; the entering column becomes basic and resets.
+	g := scale
+	if g < 1 {
+		g = 1
+	}
+	if g > s.gamma[leave] {
+		s.gamma[leave] = g
+	}
+	s.gamma[q] = 1
+	if maxG > devexResetLimit {
+		s.resetDevex()
+	}
+}

@@ -45,6 +45,14 @@ type Options struct {
 	// to the crash basis, so a stale Start can cost speed but never
 	// correctness. Stats.WarmSolves/ColdSolves report which path ran.
 	Start *Basis
+	// Pricing selects the entering-column rule (zero value = devex).
+	// PricingDantzig restores the pre-devex rotating-window partial
+	// pricing exactly.
+	Pricing PricingRule
+	// Presolve controls the presolve/postsolve layer (zero value = on).
+	// PresolveOff solves the problem as given, exactly as before the
+	// layer existed.
+	Presolve PresolveMode
 }
 
 func (o Options) withDefaults(m, n int) Options {
@@ -72,11 +80,17 @@ func (o Options) withDefaults(m, n int) Options {
 	if o.CheckEvery == 0 {
 		o.CheckEvery = 64
 	}
+	if o.Pricing == PricingAuto {
+		o.Pricing = PricingDevex
+	}
 	return o
 }
 
 // Solve compiles nothing; it solves an already compiled Problem.
 func Solve(p *Problem, opts Options) (*Solution, error) {
+	if opts.Presolve != PresolveOff && p.numRows > 0 {
+		return solvePresolved(p, opts)
+	}
 	s := newSimplex(p, opts)
 	return s.solve()
 }
@@ -122,6 +136,10 @@ type simplex struct {
 	priceStart int
 	warm       bool // solve was seeded from Options.Start
 
+	devex bool      // devex pricing active
+	gamma []float64 // devex weight per column
+	beta  []float64 // scratch for the pivot row of B^-1
+
 	stats     Stats
 	start     time.Time
 	deadline  time.Time // zero when no timeout is set
@@ -149,6 +167,10 @@ func newSimplex(p *Problem, opts Options) *simplex {
 		s.fac = NewDenseFactor(0)
 	} else {
 		s.fac = NewSparseFactor(0)
+	}
+	if opts.Pricing == PricingDevex {
+		s.devex = true
+		s.initDevex()
 	}
 	return s
 }
@@ -254,6 +276,7 @@ func (s *simplex) solveUnconstrained() (*Solution, error) {
 func (s *simplex) finalizeStats() {
 	s.stats.Iterations = s.iter
 	s.stats.Wall = time.Since(s.start)
+	s.stats.PricingRule = s.opts.Pricing.String()
 	if s.warm {
 		s.stats.WarmSolves = 1
 		s.stats.WarmIterations = s.iter
@@ -410,6 +433,9 @@ func (s *simplex) price(phase1 bool) (entering int, dir float64) {
 		}
 		s.stats.PricingScans += int64(s.n)
 		return -1, 0
+	}
+	if s.devex {
+		return s.devexPrice(phase1)
 	}
 	section := s.opts.SectionSize
 	if section < 0 {
@@ -595,6 +621,11 @@ func (s *simplex) loop(phase1 bool) error {
 		s.basis[ev.pos] = q
 		s.status[q] = basic
 
+		if s.devex {
+			// Must run against the pre-pivot factorization: the weight
+			// update needs the outgoing basis inverse's pivot row.
+			s.devexUpdate(q, ev.pos, leave)
+		}
 		refactor, err := s.fac.Update(s.w, ev.pos)
 		if err != nil {
 			refactor = true

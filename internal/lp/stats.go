@@ -45,6 +45,21 @@ type Stats struct {
 	ColdIterations       int
 	WarmRefactorizations int
 	ColdRefactorizations int
+	// PresolveRowsRemoved and PresolveColsRemoved count the constraint
+	// rows and structural columns the presolve layer eliminated before
+	// the simplex ran (zero when presolve is off or found nothing).
+	PresolveRowsRemoved int
+	PresolveColsRemoved int
+	// RebindSolves counts solves that reused a compiled problem whose row
+	// bounds were rebound in place (Problem.SetRowBounds) instead of
+	// rebuilding the model. The lp package never sets it; owners of the
+	// rebind path (core.CompiledQoS) stamp it so sweep reports can show
+	// how many cells skipped a model rebuild.
+	RebindSolves int
+	// PricingRule names the pricing rule of the solve ("devex" or
+	// "dantzig"). Aggregation keeps the name while all solves agree and
+	// reports "mixed" otherwise.
+	PricingRule string
 	// Wall is the wall-clock time of the solve. It is the only
 	// nondeterministic field.
 	Wall time.Duration
@@ -65,6 +80,16 @@ func (s *Stats) Add(other Stats) {
 	s.ColdIterations += other.ColdIterations
 	s.WarmRefactorizations += other.WarmRefactorizations
 	s.ColdRefactorizations += other.ColdRefactorizations
+	s.PresolveRowsRemoved += other.PresolveRowsRemoved
+	s.PresolveColsRemoved += other.PresolveColsRemoved
+	s.RebindSolves += other.RebindSolves
+	switch {
+	case other.PricingRule == "":
+	case s.PricingRule == "":
+		s.PricingRule = other.PricingRule
+	case s.PricingRule != other.PricingRule:
+		s.PricingRule = "mixed"
+	}
 	s.Wall += other.Wall
 }
 

@@ -128,6 +128,9 @@ func (m *metrics) write(w io.Writer, g gaugeSet, lpSolves int, lpTotal lp.Stats)
 	counter("placementd_lp_bland_activations_total", "Transitions into Bland's anti-cycling rule.", uint64(lpTotal.BlandActivations))
 	counter("placementd_lp_bound_flips_total", "Nonbasic bound-to-bound moves across all solves.", uint64(lpTotal.BoundFlips))
 	counter("placementd_lp_pricing_scans_total", "Columns examined by the pricing rule across all solves.", uint64(lpTotal.PricingScans))
+	counter("placementd_lp_presolve_rows_removed_total", "Constraint rows eliminated by presolve across all solves.", uint64(lpTotal.PresolveRowsRemoved))
+	counter("placementd_lp_presolve_cols_removed_total", "Variables eliminated by presolve across all solves.", uint64(lpTotal.PresolveColsRemoved))
+	counter("placementd_lp_rebind_solves_total", "Solves that reused a compiled model via QoS rebinding.", uint64(lpTotal.RebindSolves))
 	p("# HELP placementd_lp_wall_seconds_total Wall-clock seconds spent inside LP solves.\n# TYPE placementd_lp_wall_seconds_total counter\nplacementd_lp_wall_seconds_total %s\n", promFloat(lpTotal.Wall.Seconds()))
 
 	bounds, cum, sum, count := m.duration.snapshot()

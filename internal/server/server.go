@@ -43,6 +43,13 @@ type Config struct {
 	// column's solves over ascending QoS goals, reusing the previous
 	// basis; results are identical either way.
 	ColdStart bool
+	// Presolve selects the LP presolve mode for job sweeps (default
+	// PresolveAuto = on). Bounds are identical either way; only solver
+	// effort differs.
+	Presolve lp.PresolveMode
+	// Pricing selects the simplex pricing rule for job sweeps (default
+	// PricingAuto = devex).
+	Pricing lp.PricingRule
 	// MaxJobs bounds retained finished jobs (default 1024); the oldest
 	// finished jobs (and their cached results) are evicted beyond it.
 	MaxJobs int
@@ -239,6 +246,8 @@ func (s *Server) runJob(j *Job) {
 			opts.SolveTimeout = j.plan.solveTimeout
 		}
 		opts.Bound.LP.CheckEvery = s.cfg.CheckEvery
+		opts.Bound.LP.Presolve = s.cfg.Presolve
+		opts.Bound.LP.Pricing = s.cfg.Pricing
 		fig, err = j.plan.run(sys, opts)
 	}
 	state := j.finish(fig, err, time.Now())

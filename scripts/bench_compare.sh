@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# bench_compare.sh — run and compare the sweep benchmark ladder.
+#
+# Usage:
+#   scripts/bench_compare.sh                   run the ladder now, print the
+#                                              raw output and a per-benchmark
+#                                              summary (mean ns/op)
+#   scripts/bench_compare.sh OLD.txt NEW.txt   compare two saved runs
+#
+# Typical old-vs-new flow around a solver change:
+#
+#   scripts/bench_compare.sh > /tmp/old.txt          # before
+#   ...apply the change...
+#   scripts/bench_compare.sh > /tmp/new.txt          # after
+#   scripts/bench_compare.sh /tmp/old.txt /tmp/new.txt
+#
+# The comparison uses benchstat when it is installed; otherwise a
+# self-contained awk fallback reports per-benchmark means and the
+# old/new ratio. Nothing is downloaded either way.
+#
+# Environment:
+#   BENCH_COUNT    repetitions per benchmark (default 3; raise for benchstat
+#                  significance testing)
+#   BENCH_PATTERN  benchmark regexp (default the sweep ladder:
+#                  BenchmarkSweep(Warm|Cold|Presolved)$)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+count="${BENCH_COUNT:-3}"
+pattern="${BENCH_PATTERN:-BenchmarkSweep(Warm|Cold|Presolved)\$}"
+
+summarize() {
+    # Mean ns/op per benchmark from `go test -bench` output lines like
+    # "BenchmarkSweepWarm-8   1   6190594546 ns/op".
+    awk '
+        $1 ~ /^Benchmark/ && $4 == "ns/op" {
+            name = $1; sub(/-[0-9]+$/, "", name)
+            sum[name] += $3; n[name]++
+        }
+        END {
+            for (name in sum)
+                printf "%-28s %14.0f ns/op  (mean of %d)\n", name, sum[name] / n[name], n[name]
+        }
+    ' "$@" | sort
+}
+
+if [ "$#" -eq 2 ]; then
+    old="$1" new="$2"
+    if command -v benchstat >/dev/null 2>&1; then
+        exec benchstat "$old" "$new"
+    fi
+    echo "benchstat not installed; awk fallback (means only, no significance test)"
+    echo "--- old: $old"
+    summarize "$old"
+    echo "--- new: $new"
+    summarize "$new"
+    echo "--- old/new speedup"
+    awk '
+        $1 ~ /^Benchmark/ && $4 == "ns/op" {
+            name = $1; sub(/-[0-9]+$/, "", name)
+            sum[FILENAME, name] += $3; n[FILENAME, name]++
+            names[name] = 1
+        }
+        END {
+            for (name in names) {
+                o = sum[ARGV[1], name] / n[ARGV[1], name]
+                w = sum[ARGV[2], name] / n[ARGV[2], name]
+                if (o > 0 && w > 0)
+                    printf "%-28s %6.2fx\n", name, o / w
+            }
+        }
+    ' "$old" "$new" | sort
+    exit 0
+elif [ "$#" -ne 0 ]; then
+    echo "usage: $0 [OLD.txt NEW.txt]" >&2
+    exit 2
+fi
+
+out="$(mktemp)"
+trap 'rm -f "$out"' EXIT
+echo "# go test -bench '$pattern' -count $count (serial)" >&2
+go test ./internal/experiments -run '^$' -bench "$pattern" -benchtime 1x -count "$count" | tee "$out" >&2
+summarize "$out"
