@@ -5,6 +5,8 @@
 //
 //	bounds -workload web -scale small            # Figure 1 series as TSV
 //	bounds -workload group -scale medium -v      # with progress on stderr
+//	bounds -scenario transit-stub-100            # registered scenario instead of a preset
+//	bounds -scenario examples/scenarios/flash-crowd.json
 //	bounds -parallel 1                           # serial sweep (same TSV)
 //	bounds -solve-timeout 5m                     # cap each LP solve
 //	bounds -classes                              # print the Table 3 taxonomy
@@ -20,7 +22,9 @@ import (
 	"strings"
 
 	"wideplace/internal/cli"
+	"wideplace/internal/core"
 	"wideplace/internal/experiments"
+	"wideplace/internal/scenario"
 	"wideplace/internal/topology"
 )
 
@@ -35,6 +39,7 @@ func run() error {
 	var (
 		workloadFlag = flag.String("workload", "web", "workload: web or group")
 		scaleFlag    = flag.String("scale", "small", "experiment scale: small, medium or large")
+		scenarioFlag = flag.String("scenario", "", "registered scenario name or spec file (overrides -workload/-scale)")
 		qosFlag      = flag.String("qos", "", "comma-separated QoS points (fractions), overriding the preset")
 		classesFlag  = flag.Bool("classes", false, "print the heuristic-class taxonomy (Table 3) and exit")
 		skipRound    = flag.Bool("skip-rounding", false, "compute LP bounds only (no tightness certificate)")
@@ -58,19 +63,42 @@ func run() error {
 		return experiments.WriteTable3(os.Stdout, experiments.Table3(topo, 150))
 	}
 
-	spec, err := experiments.NewSpec(experiments.WorkloadKind(*workloadFlag), experiments.Scale(*scaleFlag))
-	if err != nil {
-		return err
-	}
-	if *qosFlag != "" {
-		spec.QoSPoints, err = parseQoS(*qosFlag)
+	var (
+		sys        *experiments.System
+		scnClasses []*core.Class
+		err        error
+	)
+	if *scenarioFlag != "" {
+		scn, err := scenario.Load(*scenarioFlag)
 		if err != nil {
 			return err
 		}
-	}
-	sys, err := experiments.Build(spec)
-	if err != nil {
-		return err
+		if *qosFlag != "" {
+			if scn.QoS, err = parseQoS(*qosFlag); err != nil {
+				return err
+			}
+		}
+		res, err := scenario.Compile(scn)
+		if err != nil {
+			return err
+		}
+		for _, w := range res.Warnings {
+			fmt.Fprintf(os.Stderr, "bounds: %s: %s\n", scn.Name, w)
+		}
+		sys, scnClasses = res.System, res.Classes
+	} else {
+		spec, err := experiments.NewSpec(experiments.WorkloadKind(*workloadFlag), experiments.Scale(*scaleFlag))
+		if err != nil {
+			return err
+		}
+		if *qosFlag != "" {
+			if spec.QoSPoints, err = parseQoS(*qosFlag); err != nil {
+				return err
+			}
+		}
+		if sys, err = experiments.Build(spec); err != nil {
+			return err
+		}
 	}
 	progress := cli.Progress(*verbose, os.Stderr)
 	ctx, stop := cli.SignalContext(context.Background())
@@ -85,7 +113,14 @@ func run() error {
 	if err := lpFlags.Apply(&opts.Bound.LP); err != nil {
 		return err
 	}
-	fig, err := experiments.Figure1(sys, opts, progress)
+	var fig *experiments.Figure
+	if scnClasses != nil {
+		// Empty title = the Sweep default, which is also what placementd
+		// uses for scenario jobs, so the two TSVs stay byte-identical.
+		fig, err = experiments.Sweep(sys, scnClasses, "", opts, progress)
+	} else {
+		fig, err = experiments.Figure1(sys, opts, progress)
+	}
 	if err != nil {
 		return err
 	}

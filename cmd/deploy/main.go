@@ -13,6 +13,7 @@ import (
 
 	"wideplace/internal/cli"
 	"wideplace/internal/experiments"
+	"wideplace/internal/scenario"
 )
 
 func main() {
@@ -27,6 +28,7 @@ func run(args []string, stdout io.Writer) error {
 	var (
 		workloadFlag = fs.String("workload", "web", "workload: web or group")
 		scaleFlag    = fs.String("scale", "small", "experiment scale: small, medium or large")
+		scenarioFlag = fs.String("scenario", "", "registered scenario name or spec file (overrides -workload/-scale)")
 		zetaFlag     = fs.Float64("zeta", 0, "node-opening cost (0 = scale preset)")
 		parallel     = fs.Int("parallel", 0, "concurrent bound solves in phase 2 (0 = GOMAXPROCS, 1 = serial)")
 		solveTimeout = fs.Duration("solve-timeout", 0, "wall-clock cap per LP solve (0 = unlimited)")
@@ -38,16 +40,31 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 
-	spec, err := experiments.NewSpec(experiments.WorkloadKind(*workloadFlag), experiments.Scale(*scaleFlag))
-	if err != nil {
-		return err
+	var sys *experiments.System
+	if *scenarioFlag != "" {
+		scn, err := scenario.Load(*scenarioFlag)
+		if err != nil {
+			return err
+		}
+		res, err := scenario.Compile(scn)
+		if err != nil {
+			return err
+		}
+		for _, w := range res.Warnings {
+			fmt.Fprintf(os.Stderr, "deploy: %s: %s\n", scn.Name, w)
+		}
+		sys = res.System
+	} else {
+		spec, err := experiments.NewSpec(experiments.WorkloadKind(*workloadFlag), experiments.Scale(*scaleFlag))
+		if err != nil {
+			return err
+		}
+		if sys, err = experiments.Build(spec); err != nil {
+			return err
+		}
 	}
 	if *zetaFlag > 0 {
-		spec.Zeta = *zetaFlag
-	}
-	sys, err := experiments.Build(spec)
-	if err != nil {
-		return err
+		sys.Spec.Zeta = *zetaFlag
 	}
 	ctx, stop := cli.SignalContext(context.Background())
 	defer stop()
@@ -65,6 +82,6 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(stdout, "# phase 1 (zeta=%g): deploy nodes at sites %v (%d of %d)\n",
-		spec.Zeta, res.OpenNodes, len(res.OpenNodes), spec.Nodes)
+		sys.Spec.Zeta, res.OpenNodes, len(res.OpenNodes), sys.Spec.Nodes)
 	return res.Figure.WriteTSV(stdout)
 }

@@ -17,6 +17,7 @@ import (
 
 	"wideplace/internal/cli"
 	"wideplace/internal/core"
+	"wideplace/internal/scenario"
 	"wideplace/internal/topology"
 	"wideplace/internal/workload"
 )
@@ -32,6 +33,7 @@ func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("mcperf", flag.ContinueOnError)
 	var (
 		workloadFlag = fs.String("workload", "web", "workload: web or group")
+		scenarioFlag = fs.String("scenario", "", "registered scenario name or spec file (overrides generator flags; tlat/delta come from the spec)")
 		nodes        = fs.Int("nodes", 10, "number of sites")
 		objects      = fs.Int("objects", 20, "number of objects")
 		requests     = fs.Int("requests", 5000, "total requests")
@@ -51,26 +53,47 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 
-	topo, err := topology.Generate(topology.GenOptions{N: *nodes, Seed: *seed})
-	if err != nil {
-		return err
-	}
-	var trace *workload.Trace
-	switch *workloadFlag {
-	case "web":
-		trace, err = workload.GenerateWeb(workload.WebOptions{
-			Nodes: *nodes, Objects: *objects, Requests: *requests, Duration: *horizon, Seed: *seed,
-			ZipfS: *zipfS,
-		})
-	case "group":
-		trace, err = workload.GenerateGroup(workload.GroupOptions{
-			Nodes: *nodes, Objects: *objects, Requests: *requests, Duration: *horizon, Seed: *seed,
-		})
-	default:
-		return fmt.Errorf("unknown workload %q", *workloadFlag)
-	}
-	if err != nil {
-		return err
+	var (
+		topo  *topology.Topology
+		trace *workload.Trace
+		err   error
+	)
+	kindLabel := *workloadFlag
+	if *scenarioFlag != "" {
+		scn, err := scenario.Load(*scenarioFlag)
+		if err != nil {
+			return err
+		}
+		res, err := scenario.Compile(scn)
+		if err != nil {
+			return err
+		}
+		topo, trace = res.System.Topo, res.System.Trace
+		// The scenario's own threshold and interval define the instance;
+		// the goal level still comes from -tqos/-avg.
+		*tlat = scn.Tlat()
+		*delta = scn.Delta()
+		kindLabel = scn.Workload.Model
+	} else {
+		if topo, err = topology.Generate(topology.GenOptions{N: *nodes, Seed: *seed}); err != nil {
+			return err
+		}
+		switch *workloadFlag {
+		case "web":
+			trace, err = workload.GenerateWeb(workload.WebOptions{
+				Nodes: *nodes, Objects: *objects, Requests: *requests, Duration: *horizon, Seed: *seed,
+				ZipfS: *zipfS,
+			})
+		case "group":
+			trace, err = workload.GenerateGroup(workload.GroupOptions{
+				Nodes: *nodes, Objects: *objects, Requests: *requests, Duration: *horizon, Seed: *seed,
+			})
+		default:
+			return fmt.Errorf("unknown workload %q", *workloadFlag)
+		}
+		if err != nil {
+			return err
+		}
 	}
 	counts, err := trace.Bucket(*delta)
 	if err != nil {
@@ -103,7 +126,7 @@ func run(args []string, stdout io.Writer) error {
 	elapsed := time.Since(start)
 
 	fmt.Fprintf(stdout, "instance:   %s workload, %d nodes, %d objects, %d requests, %d intervals of %v\n",
-		*workloadFlag, *nodes, *objects, len(trace.Accesses), counts.Intervals, *delta)
+		kindLabel, topo.N, trace.NumObjects, len(trace.Accesses), counts.Intervals, *delta)
 	if goal.Kind == core.QoSGoal {
 		fmt.Fprintf(stdout, "goal:       %.5g%% of each user's reads within %.0f ms\n", *tqos*100, *tlat)
 	} else {

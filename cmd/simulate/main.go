@@ -13,6 +13,7 @@ import (
 
 	"wideplace/internal/cli"
 	"wideplace/internal/experiments"
+	"wideplace/internal/scenario"
 )
 
 func main() {
@@ -27,6 +28,7 @@ func run(args []string, stdout io.Writer) error {
 	var (
 		workloadFlag = fs.String("workload", "web", "workload: web or group")
 		scaleFlag    = fs.String("scale", "small", "experiment scale: small, medium or large")
+		scenarioFlag = fs.String("scenario", "", "registered scenario name or spec file (overrides -workload/-scale)")
 		parallel     = fs.Int("parallel", 0, "concurrent cells (0 = GOMAXPROCS, 1 = serial)")
 		solveTimeout = fs.Duration("solve-timeout", 0, "wall-clock cap per LP solve (0 = unlimited)")
 		warmStart    = fs.Bool("warm-start", true, "reuse each solution's basis to seed the next QoS point of the bound column (false = every cell solves cold)")
@@ -37,13 +39,28 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 
-	spec, err := experiments.NewSpec(experiments.WorkloadKind(*workloadFlag), experiments.Scale(*scaleFlag))
-	if err != nil {
-		return err
-	}
-	sys, err := experiments.Build(spec)
-	if err != nil {
-		return err
+	var sys *experiments.System
+	if *scenarioFlag != "" {
+		scn, err := scenario.Load(*scenarioFlag)
+		if err != nil {
+			return err
+		}
+		res, err := scenario.Compile(scn)
+		if err != nil {
+			return err
+		}
+		for _, w := range res.Warnings {
+			fmt.Fprintf(os.Stderr, "simulate: %s: %s\n", scn.Name, w)
+		}
+		sys = res.System
+	} else {
+		spec, err := experiments.NewSpec(experiments.WorkloadKind(*workloadFlag), experiments.Scale(*scaleFlag))
+		if err != nil {
+			return err
+		}
+		if sys, err = experiments.Build(spec); err != nil {
+			return err
+		}
 	}
 	ctx, stop := cli.SignalContext(context.Background())
 	defer stop()
@@ -61,7 +78,7 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(stdout, "# Figure 2 (%s): deployed heuristic cost vs class bound (nodes=%d objects=%d requests=%d)\n",
-		spec.Workload, spec.Nodes, spec.Objects, spec.Requests)
+		sys.Spec.Workload, sys.Spec.Nodes, sys.Spec.Objects, sys.Spec.Requests)
 	fmt.Fprintln(stdout, "qos\tclass_bound\tchosen_heuristic\tchosen_param\tlru_caching\tlru_param")
 	for i := range res.Bound {
 		fmt.Fprintf(stdout, "%g", res.Bound[i].QoS*100)

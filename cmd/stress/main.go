@@ -1,0 +1,251 @@
+// Command stress sweeps registered scenarios up a size ladder and records
+// how solver effort scales with the site count. For every scenario and
+// every ladder size it rescales the spec (scenario.Spec.WithNodes), runs
+// the full bound sweep and writes one TSV per size — including the
+// deterministic "# solver:" footer — plus an appended data point in
+// BENCH_scale.json, mirroring the BENCH_sweep.json convention.
+//
+// Usage:
+//
+//	stress -list                                  # registered scenarios
+//	stress                                        # default ladder on the two structural families
+//	stress -scenarios flash-crowd -sizes 20,50    # one family, short ladder
+//	stress -out results/ -bench ""                # TSVs only, no JSON record
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"wideplace/internal/cli"
+	"wideplace/internal/experiments"
+	"wideplace/internal/lp"
+	"wideplace/internal/scenario"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "stress:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		listFlag  = flag.Bool("list", false, "list registered scenarios and exit")
+		scenFlag  = flag.String("scenarios", "transit-stub-100,remote-office-clustered", "comma-separated scenario names or spec files")
+		sizesFlag = flag.String("sizes", "20,50,100,200", "comma-separated site-count ladder")
+		outFlag   = flag.String("out", ".", "directory for per-size TSV files")
+		benchFlag = flag.String("bench", "BENCH_scale.json", "append the run's record to this JSON file (empty = skip)")
+		rounding  = flag.Bool("rounding", false, "also compute tightness certificates (slower; bounds are unchanged)")
+		parallel  = flag.Int("parallel", 0, "concurrent bound solves (0 = GOMAXPROCS, 1 = serial)")
+		solveCap  = flag.Duration("solve-timeout", 0, "wall-clock cap per LP solve (0 = unlimited)")
+		verbose   = flag.Bool("v", false, "print per-bound progress (incl. solver stats) to stderr")
+	)
+	lpFlags := cli.RegisterLPFlags(flag.CommandLine)
+	flag.Parse()
+
+	if *listFlag {
+		for _, spec := range scenario.Specs() {
+			fmt.Printf("%-26s %s\n", spec.Name, spec.Description)
+		}
+		return nil
+	}
+
+	sizes, err := parseSizes(*sizesFlag)
+	if err != nil {
+		return err
+	}
+	var specs []scenario.Spec
+	for _, ref := range strings.Split(*scenFlag, ",") {
+		spec, err := scenario.Load(strings.TrimSpace(ref))
+		if err != nil {
+			return err
+		}
+		specs = append(specs, spec)
+	}
+	if len(specs) == 0 {
+		return fmt.Errorf("no scenarios selected")
+	}
+	if err := os.MkdirAll(*outFlag, 0o755); err != nil {
+		return err
+	}
+
+	ctx, stop := cli.SignalContext(context.Background())
+	defer stop()
+	progress := cli.Progress(*verbose, os.Stderr)
+	opts := experiments.Options{
+		Parallel:     *parallel,
+		SolveTimeout: *solveCap,
+		Ctx:          ctx,
+	}
+	opts.Bound.SkipRounding = !*rounding
+	if err := lpFlags.Apply(&opts.Bound.LP); err != nil {
+		return err
+	}
+
+	record := scaleRecord{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	for _, base := range specs {
+		entry := scaleScenario{Name: base.Name}
+		for _, n := range sizes {
+			spec := base.WithNodes(n)
+			start := time.Now()
+			res, err := scenario.Compile(spec)
+			if err != nil {
+				return fmt.Errorf("%s at %d nodes: %w", base.Name, n, err)
+			}
+			for _, w := range res.Warnings {
+				fmt.Fprintf(os.Stderr, "stress: %s n=%d: %s\n", base.Name, n, w)
+			}
+			title := fmt.Sprintf("stress %s at %d nodes: lower bounds per heuristic class", base.Name, n)
+			fig, err := experiments.Sweep(res.System, res.Classes, title, opts, progress)
+			if err != nil {
+				return fmt.Errorf("%s at %d nodes: %w", base.Name, n, err)
+			}
+			wall := time.Since(start)
+			path := filepath.Join(*outFlag, fmt.Sprintf("stress_%s_n%d.tsv", base.Name, n))
+			if err := writeTSV(path, fig); err != nil {
+				return err
+			}
+			size := scaleSize{Nodes: n, WallNs: wall.Nanoseconds()}
+			var agg lp.Stats
+			size.Cells, agg = fig.SolverStats()
+			size.Solver = solverCounters(agg)
+			entry.Sizes = append(entry.Sizes, size)
+			fmt.Printf("%s\tn=%d\tcells=%d\titerations=%d\twall=%s\t%s\n",
+				base.Name, n, size.Cells, agg.Iterations, wall.Round(time.Millisecond), path)
+		}
+		record.Scenarios = append(record.Scenarios, entry)
+	}
+	if *benchFlag != "" {
+		if err := appendRecord(*benchFlag, record); err != nil {
+			return err
+		}
+		fmt.Printf("appended record to %s\n", *benchFlag)
+	}
+	return nil
+}
+
+func parseSizes(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad ladder size %q: %w", part, err)
+		}
+		if n < 3 {
+			return nil, fmt.Errorf("ladder size %d too small (need at least 3 sites)", n)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no ladder sizes in %q", s)
+	}
+	return out, nil
+}
+
+func writeTSV(path string, fig *experiments.Figure) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fig.WriteTSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// scaleSolver mirrors BENCH_sweep.json's solver block: the deterministic
+// effort counters of one sweep.
+type scaleSolver struct {
+	Iterations          int    `json:"iterations"`
+	Phase1Iterations    int    `json:"phase1Iterations"`
+	Refactorizations    int    `json:"refactorizations"`
+	DegenerateSteps     int    `json:"degenerateSteps"`
+	BoundFlips          int    `json:"boundFlips"`
+	PricingScans        int64  `json:"pricingScans"`
+	WarmSolves          int    `json:"warmSolves,omitempty"`
+	ColdSolves          int    `json:"coldSolves,omitempty"`
+	PresolveRowsRemoved int    `json:"presolveRowsRemoved,omitempty"`
+	PresolveColsRemoved int    `json:"presolveColsRemoved,omitempty"`
+	RebindSolves        int    `json:"rebindSolves,omitempty"`
+	Pricing             string `json:"pricing,omitempty"`
+}
+
+func solverCounters(agg lp.Stats) scaleSolver {
+	return scaleSolver{
+		Iterations:          agg.Iterations,
+		Phase1Iterations:    agg.Phase1Iterations,
+		Refactorizations:    agg.Refactorizations,
+		DegenerateSteps:     agg.DegenerateSteps,
+		BoundFlips:          agg.BoundFlips,
+		PricingScans:        agg.PricingScans,
+		WarmSolves:          agg.WarmSolves,
+		ColdSolves:          agg.ColdSolves,
+		PresolveRowsRemoved: agg.PresolveRowsRemoved,
+		PresolveColsRemoved: agg.PresolveColsRemoved,
+		RebindSolves:        agg.RebindSolves,
+		Pricing:             agg.PricingRule,
+	}
+}
+
+// scaleSize is one ladder rung: the sweep's size, wall time and solver
+// effort. Wall time is the only non-deterministic field.
+type scaleSize struct {
+	Nodes  int         `json:"nodes"`
+	Cells  int         `json:"cells"`
+	WallNs int64       `json:"wallNs"`
+	Solver scaleSolver `json:"solver"`
+}
+
+// scaleScenario is one scenario's ladder.
+type scaleScenario struct {
+	Name  string      `json:"name"`
+	Sizes []scaleSize `json:"sizes"`
+}
+
+// scaleRecord is one data point of BENCH_scale.json. The file is an array
+// of records, one per recorded run, oldest first.
+type scaleRecord struct {
+	GoVersion  string          `json:"goVersion"`
+	GOMAXPROCS int             `json:"gomaxprocs"`
+	Scenarios  []scaleScenario `json:"scenarios"`
+}
+
+// appendRecord extends the JSON-array history file with one record,
+// tolerating a missing or empty file.
+func appendRecord(path string, rec scaleRecord) error {
+	var history []json.RawMessage
+	if data, err := os.ReadFile(path); err == nil {
+		trimmed := strings.TrimSpace(string(data))
+		if trimmed != "" {
+			if err := json.Unmarshal([]byte(trimmed), &history); err != nil {
+				return fmt.Errorf("existing %s: %w", path, err)
+			}
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	raw, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	history = append(history, raw)
+	out, err := json.MarshalIndent(history, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}

@@ -9,6 +9,9 @@
 //	workload gen-topology -nodes 20 -seed 1 > topo.json
 //	workload gen-trace -workload web -objects 1000 > trace.json
 //	workload describe -trace trace.json
+//	workload scenarios                          # list the scenario registry
+//	workload compile -scenario flash-crowd      # materialize + self-check a scenario
+//	workload compile -scenario spec.json -topo topo.json -trace trace.json
 package main
 
 import (
@@ -18,6 +21,7 @@ import (
 	"os"
 	"time"
 
+	"wideplace/internal/scenario"
 	"wideplace/internal/topology"
 	"wideplace/internal/workload"
 )
@@ -31,7 +35,7 @@ func main() {
 
 func run(args []string, stdout io.Writer) error {
 	if len(args) == 0 {
-		return fmt.Errorf("need a subcommand: gen-topology, gen-trace or describe")
+		return fmt.Errorf("need a subcommand: gen-topology, gen-trace, describe, scenarios or compile")
 	}
 	switch args[0] {
 	case "gen-topology":
@@ -40,9 +44,83 @@ func run(args []string, stdout io.Writer) error {
 		return genTrace(args[1:], stdout)
 	case "describe":
 		return describe(args[1:], stdout)
+	case "scenarios":
+		return listScenarios(stdout)
+	case "compile":
+		return compileScenario(args[1:], stdout)
 	default:
 		return fmt.Errorf("unknown subcommand %q", args[0])
 	}
+}
+
+func listScenarios(stdout io.Writer) error {
+	for _, spec := range scenario.Specs() {
+		fmt.Fprintf(stdout, "%-26s %s\n", spec.Name, spec.Description)
+	}
+	return nil
+}
+
+// compileScenario materializes a scenario, prints the self-checked
+// summary and optionally exports the generated topology and trace in the
+// same JSON formats gen-topology/gen-trace emit, closing the loop between
+// the declarative and the artifact-based workflows.
+func compileScenario(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("compile", flag.ContinueOnError)
+	ref := fs.String("scenario", "", "registered scenario name or spec file (required)")
+	topoOut := fs.String("topo", "", "also write the generated topology JSON here")
+	traceOut := fs.String("trace", "", "also write the generated trace JSON here")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *ref == "" {
+		return fmt.Errorf("compile: -scenario is required")
+	}
+	spec, err := scenario.Load(*ref)
+	if err != nil {
+		return err
+	}
+	res, err := scenario.Compile(spec)
+	if err != nil {
+		return err
+	}
+	sys := res.System
+	fmt.Fprintf(stdout, "scenario:    %s (%s)\n", spec.Name, spec.Description)
+	fmt.Fprintf(stdout, "fingerprint: %s\n", res.Fingerprint)
+	fmt.Fprintf(stdout, "topology:    %s, %d nodes\n", spec.Topology.Model, sys.Topo.N)
+	fmt.Fprintf(stdout, "workload:    %s, %d objects, %d requests over %v in %d intervals\n",
+		spec.Workload.Model, sys.Trace.NumObjects, len(sys.Trace.Accesses), sys.Trace.Duration, sys.Counts.Intervals)
+	fmt.Fprintf(stdout, "goal:        qos %v within %g ms\n", spec.QoS, spec.Tlat())
+	names := make([]string, len(res.Classes))
+	for i, c := range res.Classes {
+		names[i] = c.Name
+	}
+	fmt.Fprintf(stdout, "classes:     %v\n", names)
+	for _, w := range res.Warnings {
+		fmt.Fprintf(stdout, "warning:     %s\n", w)
+	}
+	if *topoOut != "" {
+		if err := writeArtifact(*topoOut, sys.Topo.Write); err != nil {
+			return err
+		}
+	}
+	if *traceOut != "" {
+		if err := writeArtifact(*traceOut, sys.Trace.Write); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeArtifact(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func genTopology(args []string, stdout io.Writer) error {

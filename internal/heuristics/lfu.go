@@ -53,12 +53,15 @@ func (l *LFU) OnRead(node, object int, at time.Duration) int {
 	if l.capacity > 0 {
 		if l.env.Tracker.Count(node) >= l.capacity {
 			victim, vc := -1, 0
-			for k := range l.counts[node] {
+			for k, c := range l.counts[node] {
 				if !l.env.Tracker.Stored(node, k) {
 					continue
 				}
-				if victim < 0 || l.counts[node][k] < vc {
-					victim, vc = k, l.counts[node][k]
+				// Ties break toward the smaller object id so eviction —
+				// and therefore the whole replay — is deterministic
+				// despite the map iteration order.
+				if victim < 0 || c < vc || (c == vc && k < victim) {
+					victim, vc = k, c
 				}
 			}
 			if victim >= 0 {

@@ -1,0 +1,283 @@
+package scenario
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"wideplace/internal/core"
+	"wideplace/internal/experiments"
+	"wideplace/internal/topology"
+	"wideplace/internal/workload"
+)
+
+// Result is a compiled scenario: the materialized system, its resolved
+// heuristic classes, the self-check warnings and a content fingerprint.
+type Result struct {
+	// Spec is the compiled spec (after validation, before any defaults
+	// are folded in — re-compiling it reproduces the system exactly).
+	Spec Spec
+	// System is the materialized topology + trace + bucketed counts,
+	// ready for the experiments sweep engine.
+	System *experiments.System
+	// Classes are the resolved heuristic classes in spec order.
+	Classes []*core.Class
+	// Warnings lists self-check findings that do not invalidate the
+	// scenario: classes that cannot attain the loosest QoS goal (their
+	// curves truncate from the first point).
+	Warnings []string
+	// Fingerprint is the SHA-256 of the canonical serialized system (see
+	// Fingerprint); two compiles of one spec always agree on it.
+	Fingerprint string
+}
+
+// Compile materializes a spec deterministically: it generates the
+// topology and trace from the spec's seeds, buckets the trace, resolves
+// the heuristic classes and self-checks the whole system — finite
+// latencies, trace/topology dimension agreement, and attainability of the
+// loosest QoS goal (every listed class under RequireAllClasses, at least
+// one otherwise; the rest surface as warnings).
+func Compile(spec Spec) (*Result, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	topo, err := spec.buildTopology()
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: topology: %w", spec.Name, err)
+	}
+	trace, err := spec.buildTrace()
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: workload: %w", spec.Name, err)
+	}
+
+	// Self-check: dimensions and latency sanity. The generators already
+	// promise both, but a scenario is the trust boundary for every
+	// downstream consumer, so the compiled artifact re-verifies instead
+	// of assuming.
+	if topo.N != trace.NumNodes {
+		return nil, fmt.Errorf("scenario %s: topology has %d nodes, trace has %d", spec.Name, topo.N, trace.NumNodes)
+	}
+	for i := range topo.Latency {
+		for j, v := range topo.Latency[i] {
+			if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("scenario %s: latency[%d][%d] = %v is not finite and non-negative", spec.Name, i, j, v)
+			}
+		}
+	}
+	if err := trace.Validate(); err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", spec.Name, err)
+	}
+
+	counts, err := trace.Bucket(spec.Delta())
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", spec.Name, err)
+	}
+	zeta := spec.Zeta
+	if zeta == 0 {
+		zeta = defaultZeta
+	}
+	sys := &experiments.System{
+		Spec: experiments.Spec{
+			Workload:  experiments.WorkloadKind(spec.Workload.Model),
+			Nodes:     topo.N,
+			Objects:   trace.NumObjects,
+			Requests:  len(trace.Accesses),
+			Horizon:   trace.Duration,
+			Delta:     spec.Delta(),
+			Seed:      spec.Seed,
+			Tlat:      spec.Tlat(),
+			QoSPoints: append([]float64(nil), spec.QoS...),
+			Zeta:      zeta,
+			ZipfS:     spec.Workload.ZipfS,
+		},
+		Topo:   topo,
+		Trace:  trace,
+		Counts: counts,
+	}
+
+	classes, err := spec.resolveClasses(topo)
+	if err != nil {
+		return nil, err
+	}
+	warnings, err := selfCheckAttainability(spec, sys, classes)
+	if err != nil {
+		return nil, err
+	}
+	fp, err := Fingerprint(sys)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: fingerprint: %w", spec.Name, err)
+	}
+	return &Result{
+		Spec:        spec,
+		System:      sys,
+		Classes:     classes,
+		Warnings:    warnings,
+		Fingerprint: fp,
+	}, nil
+}
+
+// buildTopology dispatches to the topology model's generator.
+func (s *Spec) buildTopology() (*topology.Topology, error) {
+	switch s.Topology.Model {
+	case TopoRandomAS:
+		return topology.Generate(topology.GenOptions{
+			N: s.Nodes(), Seed: s.topoSeed(), Origin: s.Topology.Origin,
+			MinHop: s.Topology.MinHopMillis, MaxHop: s.Topology.MaxHopMillis,
+			ExtraLinks: s.Topology.ExtraLinks,
+		})
+	case TopoTransitStub:
+		return topology.GenerateTransitStub(topology.TransitStubOptions{
+			N: s.Nodes(), Seed: s.topoSeed(), Origin: s.Topology.Origin,
+			Transit: s.Topology.Transit,
+		})
+	case TopoRemoteOffice:
+		return topology.GenerateRemoteOffice(topology.RemoteOfficeOptions{
+			N: s.Nodes(), Seed: s.topoSeed(), Origin: s.Topology.Origin,
+			Clusters: s.Topology.Clusters,
+		})
+	default:
+		return nil, fmt.Errorf("unknown topology model %q", s.Topology.Model)
+	}
+}
+
+// buildTrace dispatches to the workload model's generator.
+func (s *Spec) buildTrace() (*workload.Trace, error) {
+	w := &s.Workload
+	horizon := time.Duration(w.HorizonMillis) * time.Millisecond
+	if horizon == 0 {
+		horizon = defaultHorizon
+	}
+	var (
+		tr  *workload.Trace
+		err error
+	)
+	switch w.Model {
+	case WorkWeb:
+		tr, err = workload.GenerateWeb(workload.WebOptions{
+			Nodes: s.Nodes(), Objects: w.Objects, Requests: w.Requests,
+			Duration: horizon, Seed: s.workSeed(), ZipfS: w.ZipfS, NodeSkew: w.NodeSkew,
+		})
+	case WorkGroup:
+		tr, err = workload.GenerateGroup(workload.GroupOptions{
+			Nodes: s.Nodes(), Objects: w.Objects, Requests: w.Requests,
+			Duration: horizon, Seed: s.workSeed(), MinPop: w.MinPop, MaxPop: w.MaxPop,
+		})
+	case WorkFlashCrowd:
+		tr, err = workload.GenerateFlashCrowd(workload.FlashCrowdOptions{
+			Nodes: s.Nodes(), Objects: w.Objects, Requests: w.Requests,
+			Duration: horizon, Seed: s.workSeed(), ZipfS: w.ZipfS, NodeSkew: w.NodeSkew,
+			CrowdShare: w.CrowdShare, HotObjects: w.HotObjects,
+			CrowdStart: time.Duration(w.CrowdStartMillis) * time.Millisecond,
+			CrowdWidth: time.Duration(w.CrowdWidthMillis) * time.Millisecond,
+		})
+	case WorkDiurnal:
+		tr, err = workload.GenerateDiurnal(workload.DiurnalOptions{
+			Nodes: s.Nodes(), Objects: w.Objects, Requests: w.Requests,
+			Duration: horizon, Seed: s.workSeed(), ZipfS: w.ZipfS,
+			Zones: w.Zones, NightFloor: w.NightFloor, ObjectDrift: w.ObjectDrift,
+			Period: time.Duration(w.PeriodMillis) * time.Millisecond,
+		})
+	default:
+		return nil, fmt.Errorf("unknown workload model %q", w.Model)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if w.WriteFraction > 0 {
+		tr = workload.AddWrites(tr, w.WriteFraction, s.workSeed())
+	}
+	return tr, nil
+}
+
+// resolveClasses materializes the spec's class list for the topology.
+func (s *Spec) resolveClasses(topo *topology.Topology) ([]*core.Class, error) {
+	names := s.ClassNames()
+	classes := make([]*core.Class, len(names))
+	for i, n := range names {
+		c, err := core.ClassByName(topo, s.Tlat(), n)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
+		}
+		classes[i] = c
+	}
+	return classes, nil
+}
+
+// selfCheckAttainability verifies the loosest QoS goal against every
+// listed class with the cheap reachability check (core.Instance.
+// Attainable — no LP solve). The weakest listed classes are exactly the
+// ones that fail here first.
+func selfCheckAttainability(spec Spec, sys *experiments.System, classes []*core.Class) ([]string, error) {
+	loosest := spec.QoS[0]
+	for _, q := range spec.QoS[1:] {
+		if q < loosest {
+			loosest = q
+		}
+	}
+	inst, err := sys.Instance(loosest)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", spec.Name, err)
+	}
+	var warnings []string
+	attainable := 0
+	for _, c := range classes {
+		if aerr := inst.Attainable(c); aerr != nil {
+			if !errors.Is(aerr, core.ErrGoalUnattainable) {
+				return nil, fmt.Errorf("scenario %s: %w", spec.Name, aerr)
+			}
+			if spec.RequireAllClasses {
+				return nil, fmt.Errorf("scenario %s: class %s cannot attain the loosest goal %g: %w",
+					spec.Name, c.Name, loosest, aerr)
+			}
+			warnings = append(warnings,
+				fmt.Sprintf("class %s cannot attain the loosest goal %g; its curve is empty", c.Name, loosest))
+			continue
+		}
+		attainable++
+	}
+	if attainable == 0 {
+		return nil, fmt.Errorf("scenario %s: no listed class can attain the loosest goal %g: %w",
+			spec.Name, loosest, core.ErrGoalUnattainable)
+	}
+	return warnings, nil
+}
+
+// fingerprintDoc is the canonical serialized form hashed by Fingerprint:
+// the materialized placement question and nothing else. Topology and
+// Trace marshal deterministically (slices only, no maps); delta, tlat,
+// QoS points and zeta are the parameters that change which question is
+// asked. Provenance fields (workload kind, seeds, generator knobs) stay
+// out so two routes to the same system — a preset and its scenario
+// translation — fingerprint identically.
+type fingerprintDoc struct {
+	DeltaNanos int64              `json:"deltaNanos"`
+	Tlat       float64            `json:"tlat"`
+	QoS        []float64          `json:"qos"`
+	Zeta       float64            `json:"zeta"`
+	Topology   *topology.Topology `json:"topology"`
+	Trace      *workload.Trace    `json:"trace"`
+}
+
+// Fingerprint returns the SHA-256 content address of a materialized
+// system. Two compiles of the same scenario spec must produce the same
+// fingerprint — the determinism contract of the scenario layer, enforced
+// by tests over every registered scenario.
+func Fingerprint(sys *experiments.System) (string, error) {
+	raw, err := json.Marshal(fingerprintDoc{
+		DeltaNanos: sys.Spec.Delta.Nanoseconds(),
+		Tlat:       sys.Spec.Tlat,
+		QoS:        sys.Spec.QoSPoints,
+		Zeta:       sys.Spec.Zeta,
+		Topology:   sys.Topo,
+		Trace:      sys.Trace,
+	})
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(raw)
+	return "sha256:" + hex.EncodeToString(sum[:]), nil
+}

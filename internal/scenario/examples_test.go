@@ -1,0 +1,45 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestExampleSpecsMatchRegistry keeps examples/scenarios/ honest: every
+// file there must survive the strict parser, and a file named after a
+// registered scenario must be that scenario — the examples are the
+// on-disk form of the registry, not a fork of it.
+func TestExampleSpecsMatchRegistry(t *testing.T) {
+	dir := filepath.Join("..", "..", "examples", "scenarios")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("examples/scenarios: %v", err)
+	}
+	seen := 0
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) != ".json" {
+			continue
+		}
+		seen++
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec, err := Parse(data)
+		if err != nil {
+			t.Errorf("%s: %v", e.Name(), err)
+			continue
+		}
+		if want := spec.Name + ".json"; e.Name() != want {
+			t.Errorf("%s: holds spec named %q; file should be %s", e.Name(), spec.Name, want)
+		}
+		if reg, err := Get(spec.Name); err == nil && !reflect.DeepEqual(spec, reg) {
+			t.Errorf("%s: diverged from the registered %q spec", e.Name(), spec.Name)
+		}
+	}
+	if seen < 4 {
+		t.Errorf("examples/scenarios has %d specs, want at least 4", seen)
+	}
+}

@@ -12,6 +12,7 @@ import (
 
 	"wideplace/internal/core"
 	"wideplace/internal/experiments"
+	"wideplace/internal/scenario"
 	"wideplace/internal/topology"
 	"wideplace/internal/workload"
 )
@@ -66,8 +67,13 @@ type SpecRequest struct {
 // class list defaults to the paper's Figure 1 set.
 type JobRequest struct {
 	// Spec selects a generated preset system. Mutually exclusive with
-	// Topology/Trace.
+	// Scenario and Topology/Trace.
 	Spec *SpecRequest `json:"spec,omitempty"`
+	// Scenario states the system declaratively (the same schema the
+	// -scenario command-line flags consume). It is compiled server-side,
+	// so the job's QoS points, latency threshold, interval and default
+	// class list all come from the scenario spec.
+	Scenario *scenario.Spec `json:"scenario,omitempty"`
 	// Topology and Trace state an explicit system.
 	Topology *topology.Topology `json:"topology,omitempty"`
 	Trace    *workload.Trace    `json:"trace,omitempty"`
@@ -89,8 +95,10 @@ type JobRequest struct {
 // jobPlan is a validated, canonicalized request: everything a worker
 // needs to build and run the sweep, plus the content-address key.
 type jobPlan struct {
-	// spec form (custom == false)
+	// spec form (custom == false, scenario == nil)
 	spec experiments.Spec
+	// scenario form
+	scenario *scenario.Spec
 	// explicit form (custom == true)
 	custom bool
 	topo   *topology.Topology
@@ -110,6 +118,7 @@ type jobPlan struct {
 // JSON spelling (field order, omitted defaults, whitespace).
 type jobKey struct {
 	Spec         *experiments.Spec  `json:"spec,omitempty"`
+	Scenario     *scenario.Spec     `json:"scenario,omitempty"`
 	Topology     *topology.Topology `json:"topology,omitempty"`
 	Trace        *workload.Trace    `json:"trace,omitempty"`
 	Delta        time.Duration      `json:"delta,omitempty"`
@@ -133,20 +142,38 @@ func compile(req *JobRequest) (*jobPlan, error) {
 		return nil, badRequestf("empty request")
 	}
 	custom := req.Topology != nil || req.Trace != nil
-	if req.Spec != nil && custom {
-		return nil, badRequestf("state either spec or topology+trace, not both")
+	forms := 0
+	for _, set := range []bool{req.Spec != nil, req.Scenario != nil, custom} {
+		if set {
+			forms++
+		}
 	}
-	if req.Spec == nil && !custom {
-		return nil, badRequestf("state a spec or an explicit topology+trace")
+	if forms > 1 {
+		return nil, badRequestf("state exactly one of spec, scenario or topology+trace")
+	}
+	if forms == 0 {
+		return nil, badRequestf("state a spec, a scenario or an explicit topology+trace")
 	}
 	p := &jobPlan{}
-	if req.Spec != nil {
+	switch {
+	case req.Spec != nil:
 		spec, err := compileSpec(req.Spec)
 		if err != nil {
 			return nil, err
 		}
 		p.spec = spec
-	} else {
+	case req.Scenario != nil:
+		if err := req.Scenario.Validate(); err != nil {
+			return nil, fmt.Errorf("%w: %v", errBadRequest, err)
+		}
+		scn := *req.Scenario
+		p.scenario = &scn
+		// The scenario's own class list is the job's default, so its
+		// result matches cmd/bounds -scenario on the same spec.
+		if len(req.Classes) == 0 {
+			req.Classes = scn.ClassNames()
+		}
+	default:
 		if req.Topology == nil || req.Trace == nil {
 			return nil, badRequestf("an explicit system needs both topology and trace")
 		}
@@ -266,12 +293,15 @@ func (p *jobPlan) hash() (string, error) {
 		Classes:      p.classes,
 		SolveTimeout: p.solveTimeout,
 	}
-	if p.custom {
+	switch {
+	case p.custom:
 		k.Topology = p.topo
 		k.Trace = p.trace
 		k.Delta = p.delta
 		k.Tlat = p.tlat
-	} else {
+	case p.scenario != nil:
+		k.Scenario = p.scenario
+	default:
 		spec := p.spec
 		k.Spec = &spec
 	}
@@ -288,6 +318,13 @@ func (p *jobPlan) hash() (string, error) {
 func (p *jobPlan) buildSystem() (*experiments.System, error) {
 	if p.custom {
 		return experiments.NewSystem(p.topo, p.trace, p.delta, p.tlat, p.qos)
+	}
+	if p.scenario != nil {
+		res, err := scenario.Compile(*p.scenario)
+		if err != nil {
+			return nil, err
+		}
+		return res.System, nil
 	}
 	return experiments.Build(p.spec)
 }

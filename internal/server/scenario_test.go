@@ -1,0 +1,98 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"wideplace/internal/experiments"
+)
+
+// tinyScenario is a declarative job body that solves in well under a
+// second: six sites, few objects, one QoS point, one class.
+const tinyScenario = `{"scenario":{"name":"tiny","seed":5,
+	"topology":{"model":"random-as","nodes":6},
+	"workload":{"model":"web","objects":6,"requests":400,"horizonMillis":7200000},
+	"qos":[0.9],"classes":["general"]}}`
+
+// TestScenarioJob submits a scenario-spec body and checks the compiled
+// sweep comes back with the scenario's own class list.
+func TestScenarioJob(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, Parallel: 1})
+	body := `{"scenario":{"name":"flash-tiny","seed":3,
+		"topology":{"model":"transit-stub","nodes":8},
+		"workload":{"model":"flash-crowd","objects":8,"requests":600,
+			"horizonMillis":7200000,"hotObjects":2},
+		"qos":[0.9],"classes":["general","storage-constrained"]}}`
+	v, status := postJob(t, ts, body)
+	if status != http.StatusAccepted {
+		t.Fatalf("submit status %d", status)
+	}
+	final := waitState(t, ts, v.ID, 2*time.Minute, StateDone)
+	if final.CellsTotal != 2 || final.CellsDone != 2 {
+		t.Errorf("progress %d/%d, want 2/2", final.CellsDone, final.CellsTotal)
+	}
+	resp, err := http.Get(ts.URL + "/jobs/" + v.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fig experiments.Figure
+	if err := json.NewDecoder(resp.Body).Decode(&fig); err != nil {
+		t.Fatalf("decode figure: %v", err)
+	}
+	resp.Body.Close()
+	if len(fig.Series) != 2 || fig.Series[0].Name != "general" || fig.Series[1].Name != "storage-constrained" {
+		t.Errorf("unexpected series: %+v", fig.Series)
+	}
+	if fig.Spec.Workload != experiments.WorkloadKind("flash-crowd") {
+		t.Errorf("workload = %q, want flash-crowd", fig.Spec.Workload)
+	}
+	if fig.Spec.Nodes != 8 {
+		t.Errorf("nodes = %d, want 8", fig.Spec.Nodes)
+	}
+}
+
+// TestScenarioJobDedup submits the same scenario body twice: the second
+// submit must come back as a cache hit on the same content address.
+func TestScenarioJobDedup(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, Parallel: 1})
+	v1, status := postJob(t, ts, tinyScenario)
+	if status != http.StatusAccepted {
+		t.Fatalf("first submit status %d", status)
+	}
+	waitState(t, ts, v1.ID, time.Minute, StateDone)
+	v2, status := postJob(t, ts, tinyScenario)
+	if status != http.StatusOK {
+		t.Fatalf("second submit status %d, want 200 (cached)", status)
+	}
+	if !v2.Cached {
+		t.Error("second submit not marked cached")
+	}
+	if v1.Key != v2.Key {
+		t.Errorf("content address changed: %s vs %s", v1.Key, v2.Key)
+	}
+}
+
+// TestScenarioJobValidation: malformed scenario bodies must 400.
+func TestScenarioJobValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	cases := []struct {
+		name, body string
+	}{
+		{"scenario and spec", `{"spec":{"workload":"web","scale":"small"},"scenario":{"name":"x","topology":{"model":"random-as"},"workload":{"model":"web"},"qos":[0.9]}}`},
+		{"missing name", `{"scenario":{"topology":{"model":"random-as"},"workload":{"model":"web"},"qos":[0.9]}}`},
+		{"unknown topology model", `{"scenario":{"name":"x","topology":{"model":"mesh"},"workload":{"model":"web"},"qos":[0.9]}}`},
+		{"cross-model knob", `{"scenario":{"name":"x","topology":{"model":"random-as","clusters":3},"workload":{"model":"web"},"qos":[0.9]}}`},
+		{"bad qos", `{"scenario":{"name":"x","topology":{"model":"random-as"},"workload":{"model":"web"},"qos":[2]}}`},
+		{"unknown scenario field", `{"scenario":{"name":"x","zap":1,"topology":{"model":"random-as"},"workload":{"model":"web"},"qos":[0.9]}}`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, status := postJob(t, ts, c.body)
+			if status != http.StatusBadRequest {
+				t.Errorf("status = %d, want 400", status)
+			}
+		})
+	}
+}

@@ -1,0 +1,207 @@
+package topology
+
+// Parameterized topology families beyond the AS-like Generate model. Both
+// generators here are deterministic in their seed and scale to hundreds of
+// nodes; they exist so the scenario layer can sweep placement questions
+// across structurally different networks (the evaluation style of the
+// tree-network replica-placement literature) instead of a single instance.
+
+import (
+	"errors"
+	"fmt"
+
+	"wideplace/internal/xrand"
+)
+
+// TransitStubOptions configures GenerateTransitStub.
+type TransitStubOptions struct {
+	// N is the total number of sites (default 20). Transit-domain sizing
+	// is derived from N unless Transit is set.
+	N int
+	// Transit is the number of backbone (transit) nodes (default ~sqrt(N),
+	// at least 2). The remaining N-Transit nodes are stubs.
+	Transit int
+	// Seed drives every random choice.
+	Seed uint64
+	// TransitHopMin/Max bound the backbone link latencies in ms (defaults
+	// 20/60: a fast wide-area core).
+	TransitHopMin, TransitHopMax float64
+	// StubHopMin/Max bound the stub access-link latencies in ms (defaults
+	// 80/160: last-mile links dominate, as in the paper's 100-200 ms hops).
+	StubHopMin, StubHopMax float64
+	// ExtraTransitLinks adds redundant backbone links beyond the transit
+	// ring (default Transit/2).
+	ExtraTransitLinks int
+	// Origin is the headquarters node index (default 0, a transit node).
+	Origin int
+}
+
+func (o TransitStubOptions) withDefaults() TransitStubOptions {
+	if o.N == 0 {
+		o.N = 20
+	}
+	if o.Transit == 0 {
+		t := 2
+		for t*t < o.N {
+			t++
+		}
+		o.Transit = t
+	}
+	if o.TransitHopMin == 0 {
+		o.TransitHopMin = 20
+	}
+	if o.TransitHopMax == 0 {
+		o.TransitHopMax = 60
+	}
+	if o.StubHopMin == 0 {
+		o.StubHopMin = 80
+	}
+	if o.StubHopMax == 0 {
+		o.StubHopMax = 160
+	}
+	if o.ExtraTransitLinks == 0 {
+		o.ExtraTransitLinks = o.Transit / 2
+	}
+	return o
+}
+
+// GenerateTransitStub builds a two-level transit-stub topology: a ring of
+// transit (backbone) nodes with a few redundant chords, and stub nodes
+// each homed on one transit node through a slower access link. Nodes
+// [0, Transit) are the backbone; stubs follow. The structure mirrors the
+// classic GT-ITM transit-stub model at the granularity this repository
+// needs: latencies inside the core are short, and most of any wide-area
+// path is the two access links at its ends.
+func GenerateTransitStub(opts TransitStubOptions) (*Topology, error) {
+	opts = opts.withDefaults()
+	if opts.N < 3 {
+		return nil, errors.New("topology: GenerateTransitStub needs at least three nodes")
+	}
+	if opts.Transit < 2 || opts.Transit > opts.N {
+		return nil, fmt.Errorf("topology: transit count %d out of range [2, %d]", opts.Transit, opts.N)
+	}
+	if opts.TransitHopMin < 0 || opts.TransitHopMax < opts.TransitHopMin ||
+		opts.StubHopMin < 0 || opts.StubHopMax < opts.StubHopMin {
+		return nil, errors.New("topology: hop latency ranges must satisfy 0 <= min <= max")
+	}
+	rng := xrand.New(opts.Seed)
+	var links []Link
+	// Backbone ring keeps the core connected regardless of the chords.
+	for t := 0; t < opts.Transit; t++ {
+		links = append(links, Link{
+			A: t, B: (t + 1) % opts.Transit,
+			Latency: rng.Range(opts.TransitHopMin, opts.TransitHopMax),
+		})
+	}
+	for e := 0; e < opts.ExtraTransitLinks; e++ {
+		a := rng.Intn(opts.Transit)
+		b := rng.Intn(opts.Transit)
+		if a != b {
+			links = append(links, Link{A: a, B: b, Latency: rng.Range(opts.TransitHopMin, opts.TransitHopMax)})
+		}
+	}
+	// Each stub homes on a uniformly chosen transit node.
+	for s := opts.Transit; s < opts.N; s++ {
+		links = append(links, Link{
+			A: s, B: rng.Intn(opts.Transit),
+			Latency: rng.Range(opts.StubHopMin, opts.StubHopMax),
+		})
+	}
+	return New(opts.N, links, opts.Origin)
+}
+
+// RemoteOfficeOptions configures GenerateRemoteOffice.
+type RemoteOfficeOptions struct {
+	// N is the total number of sites including headquarters (default 20).
+	N int
+	// Clusters is the number of remote-office clusters (default max(2, N/5)).
+	Clusters int
+	// Seed drives every random choice.
+	Seed uint64
+	// LocalHopMin/Max bound intra-cluster (campus LAN/MAN) latencies in ms
+	// (defaults 5/25).
+	LocalHopMin, LocalHopMax float64
+	// UplinkMin/Max bound each cluster's WAN uplink to headquarters in ms
+	// (defaults 120/250: offices are far from the origin).
+	UplinkMin, UplinkMax float64
+	// Origin is the headquarters node index (default 0).
+	Origin int
+}
+
+func (o RemoteOfficeOptions) withDefaults() RemoteOfficeOptions {
+	if o.N == 0 {
+		o.N = 20
+	}
+	if o.Clusters == 0 {
+		o.Clusters = o.N / 5
+		if o.Clusters < 2 {
+			o.Clusters = 2
+		}
+	}
+	if o.LocalHopMin == 0 {
+		o.LocalHopMin = 5
+	}
+	if o.LocalHopMax == 0 {
+		o.LocalHopMax = 25
+	}
+	if o.UplinkMin == 0 {
+		o.UplinkMin = 120
+	}
+	if o.UplinkMax == 0 {
+		o.UplinkMax = 250
+	}
+	return o
+}
+
+// GenerateRemoteOffice builds the clustered enterprise scenario the paper
+// motivates in Section 6.2 (deploying file servers for remote offices):
+// one headquarters node plus Clusters office clusters. Sites inside a
+// cluster form a star on a cluster gateway with LAN-scale latencies; each
+// gateway reaches headquarters over a single slow WAN uplink. Placing one
+// replica per cluster is cheap and effective in this family, which is what
+// makes it a useful stress contrast to the flat AS-like model.
+func GenerateRemoteOffice(opts RemoteOfficeOptions) (*Topology, error) {
+	opts = opts.withDefaults()
+	if opts.N < 3 {
+		return nil, errors.New("topology: GenerateRemoteOffice needs at least three nodes")
+	}
+	if opts.Clusters < 1 || opts.Clusters > opts.N-1 {
+		return nil, fmt.Errorf("topology: cluster count %d out of range [1, %d]", opts.Clusters, opts.N-1)
+	}
+	if opts.LocalHopMin < 0 || opts.LocalHopMax < opts.LocalHopMin ||
+		opts.UplinkMin < 0 || opts.UplinkMax < opts.UplinkMin {
+		return nil, errors.New("topology: hop latency ranges must satisfy 0 <= min <= max")
+	}
+	if opts.Origin < 0 || opts.Origin >= opts.N {
+		return nil, fmt.Errorf("topology: origin %d out of range [0, %d)", opts.Origin, opts.N)
+	}
+	rng := xrand.New(opts.Seed)
+	var links []Link
+	// The non-origin sites are dealt round-robin into clusters; the first
+	// member of each cluster acts as its gateway and carries the uplink.
+	gateway := make([]int, opts.Clusters)
+	for i := range gateway {
+		gateway[i] = -1
+	}
+	cluster := 0
+	for n := 0; n < opts.N; n++ {
+		if n == opts.Origin {
+			continue
+		}
+		c := cluster % opts.Clusters
+		cluster++
+		if gateway[c] < 0 {
+			gateway[c] = n
+			links = append(links, Link{
+				A: n, B: opts.Origin,
+				Latency: rng.Range(opts.UplinkMin, opts.UplinkMax),
+			})
+			continue
+		}
+		links = append(links, Link{
+			A: n, B: gateway[c],
+			Latency: rng.Range(opts.LocalHopMin, opts.LocalHopMax),
+		})
+	}
+	return New(opts.N, links, opts.Origin)
+}

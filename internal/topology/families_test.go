@@ -1,0 +1,138 @@
+package topology
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestGenerateTransitStubShape(t *testing.T) {
+	topo, err := GenerateTransitStub(TransitStubOptions{N: 40, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.N != 40 {
+		t.Fatalf("N = %d, want 40", topo.N)
+	}
+	// Every pairwise latency must be finite and symmetric-ish through the
+	// shortest-path closure; the diagonal stays free.
+	for i := 0; i < topo.N; i++ {
+		if topo.Latency[i][i] != 0 {
+			t.Fatalf("Latency[%d][%d] = %g, want 0", i, i, topo.Latency[i][i])
+		}
+		for j := 0; j < topo.N; j++ {
+			if math.IsInf(topo.Latency[i][j], 0) || math.IsNaN(topo.Latency[i][j]) {
+				t.Fatalf("Latency[%d][%d] = %v not finite", i, j, topo.Latency[i][j])
+			}
+		}
+	}
+	// The backbone must be faster than stub-to-stub paths on average:
+	// core latencies live in [20,60] per hop, stub paths carry two access
+	// links of [80,160] each.
+	opts := TransitStubOptions{N: 40, Seed: 7}.withDefaults()
+	var coreSum, stubSum float64
+	var corePairs, stubPairs int
+	for i := 0; i < opts.Transit; i++ {
+		for j := 0; j < opts.Transit; j++ {
+			if i != j {
+				coreSum += topo.Latency[i][j]
+				corePairs++
+			}
+		}
+	}
+	for i := opts.Transit; i < topo.N; i++ {
+		for j := opts.Transit; j < topo.N; j++ {
+			if i != j {
+				stubSum += topo.Latency[i][j]
+				stubPairs++
+			}
+		}
+	}
+	if coreSum/float64(corePairs) >= stubSum/float64(stubPairs) {
+		t.Fatalf("transit core (avg %.1f ms) is not faster than stub-to-stub paths (avg %.1f ms)",
+			coreSum/float64(corePairs), stubSum/float64(stubPairs))
+	}
+}
+
+func TestGenerateRemoteOfficeShape(t *testing.T) {
+	opts := RemoteOfficeOptions{N: 26, Clusters: 5, Seed: 3}
+	topo, err := GenerateRemoteOffice(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.N != 26 {
+		t.Fatalf("N = %d, want 26", topo.N)
+	}
+	// Exactly Clusters uplinks touch the origin; everything else is local.
+	uplinks := 0
+	for _, l := range topo.Links {
+		if l.A == topo.Origin || l.B == topo.Origin {
+			uplinks++
+			if l.Latency < 120 || l.Latency > 250 {
+				t.Fatalf("uplink latency %.1f outside [120, 250]", l.Latency)
+			}
+		} else if l.Latency < 5 || l.Latency > 25 {
+			t.Fatalf("local link latency %.1f outside [5, 25]", l.Latency)
+		}
+	}
+	if uplinks != 5 {
+		t.Fatalf("found %d uplinks, want 5 (one per cluster)", uplinks)
+	}
+	// A spanning structure: N-1 links total (star-of-stars).
+	if len(topo.Links) != topo.N-1 {
+		t.Fatalf("got %d links, want %d", len(topo.Links), topo.N-1)
+	}
+}
+
+func TestFamilyGeneratorsDeterministic(t *testing.T) {
+	a1, err := GenerateTransitStub(TransitStubOptions{N: 30, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := GenerateTransitStub(TransitStubOptions{N: 30, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a1, a2) {
+		t.Fatal("GenerateTransitStub is not deterministic in its seed")
+	}
+	b1, err := GenerateRemoteOffice(RemoteOfficeOptions{N: 30, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := GenerateRemoteOffice(RemoteOfficeOptions{N: 30, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(b1, b2) {
+		t.Fatal("GenerateRemoteOffice is not deterministic in its seed")
+	}
+	a3, err := GenerateTransitStub(TransitStubOptions{N: 30, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a1, a3) {
+		t.Fatal("distinct seeds produced identical transit-stub topologies")
+	}
+}
+
+func TestFamilyGeneratorsRejectBadOptions(t *testing.T) {
+	if _, err := GenerateTransitStub(TransitStubOptions{N: 2}); err == nil {
+		t.Error("GenerateTransitStub accepted N=2")
+	}
+	if _, err := GenerateTransitStub(TransitStubOptions{N: 10, Transit: 11}); err == nil {
+		t.Error("GenerateTransitStub accepted Transit > N")
+	}
+	if _, err := GenerateTransitStub(TransitStubOptions{N: 10, StubHopMin: 50, StubHopMax: 10}); err == nil {
+		t.Error("GenerateTransitStub accepted inverted stub latency range")
+	}
+	if _, err := GenerateRemoteOffice(RemoteOfficeOptions{N: 2}); err == nil {
+		t.Error("GenerateRemoteOffice accepted N=2")
+	}
+	if _, err := GenerateRemoteOffice(RemoteOfficeOptions{N: 10, Clusters: 10}); err == nil {
+		t.Error("GenerateRemoteOffice accepted Clusters > N-1")
+	}
+	if _, err := GenerateRemoteOffice(RemoteOfficeOptions{N: 10, Origin: 10}); err == nil {
+		t.Error("GenerateRemoteOffice accepted out-of-range origin")
+	}
+}

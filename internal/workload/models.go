@@ -1,0 +1,248 @@
+package workload
+
+// Workload models beyond the paper's WEB and GROUP reproductions. Both
+// generators are deterministic in their seed and exist for the scenario
+// layer: flash crowds stress reactive placement (demand appears faster
+// than a per-interval recomputation can follow) and diurnal shift stresses
+// static placement (demand moves between sites over the horizon).
+
+import (
+	"errors"
+	"math"
+	"time"
+
+	"wideplace/internal/xrand"
+)
+
+// FlashCrowdOptions configures GenerateFlashCrowd.
+type FlashCrowdOptions struct {
+	Nodes    int           // number of sites (default 20)
+	Objects  int           // number of objects (default 1000)
+	Requests int           // total reads, baseline + crowd (default 300_000)
+	Duration time.Duration // trace horizon (default 24h)
+	Seed     uint64
+	// ZipfS is the baseline Zipf popularity exponent (default 1.0) and
+	// NodeSkew the baseline per-site activity exponent (default 0.6); the
+	// baseline is the WEB model.
+	ZipfS    float64
+	NodeSkew float64
+	// CrowdShare is the fraction of all requests that belong to the crowd
+	// burst (default 0.4).
+	CrowdShare float64
+	// CrowdStart/CrowdWidth place the burst inside the horizon (defaults:
+	// start at 1/3 of the horizon, width 1/12 of it — a two-hour spike in
+	// a 24-hour day).
+	CrowdStart, CrowdWidth time.Duration
+	// HotObjects is the number of objects the crowd hammers (default 3).
+	// Crowd requests pick uniformly among them and originate uniformly
+	// across all sites: the event is global, which is what defeats
+	// per-site demand history.
+	HotObjects int
+}
+
+func (o FlashCrowdOptions) withDefaults() FlashCrowdOptions {
+	if o.Nodes == 0 {
+		o.Nodes = 20
+	}
+	if o.Objects == 0 {
+		o.Objects = 1000
+	}
+	if o.Requests == 0 {
+		o.Requests = 300_000
+	}
+	if o.Duration == 0 {
+		o.Duration = 24 * time.Hour
+	}
+	if o.ZipfS == 0 {
+		o.ZipfS = 1.0
+	}
+	if o.NodeSkew == 0 {
+		o.NodeSkew = 0.6
+	}
+	if o.CrowdShare == 0 {
+		o.CrowdShare = 0.4
+	}
+	if o.CrowdStart == 0 {
+		o.CrowdStart = o.Duration / 3
+	}
+	if o.CrowdWidth == 0 {
+		o.CrowdWidth = o.Duration / 12
+	}
+	if o.HotObjects == 0 {
+		o.HotObjects = 3
+	}
+	return o
+}
+
+// GenerateFlashCrowd produces a WEB-like baseline with a superimposed
+// flash crowd: during [CrowdStart, CrowdStart+CrowdWidth) an extra burst
+// of requests — CrowdShare of the whole trace — hits a handful of hot
+// objects from every site at once. Request density inside the window is
+// therefore far above baseline, which is the defining property of the
+// scenario.
+func GenerateFlashCrowd(opts FlashCrowdOptions) (*Trace, error) {
+	opts = opts.withDefaults()
+	if opts.Nodes <= 0 || opts.Objects <= 0 || opts.Requests <= 0 {
+		return nil, errors.New("workload: nodes, objects and requests must be positive")
+	}
+	if opts.Duration <= 0 {
+		return nil, errors.New("workload: duration must be positive")
+	}
+	if opts.CrowdShare < 0 || opts.CrowdShare >= 1 {
+		return nil, errors.New("workload: CrowdShare must be in [0, 1)")
+	}
+	if opts.CrowdStart < 0 || opts.CrowdWidth <= 0 || opts.CrowdStart+opts.CrowdWidth > opts.Duration {
+		return nil, errors.New("workload: crowd window must fit inside the horizon")
+	}
+	if opts.HotObjects < 1 || opts.HotObjects > opts.Objects {
+		return nil, errors.New("workload: HotObjects must be in [1, Objects]")
+	}
+	rng := xrand.New(opts.Seed)
+	objCum := cumulative(zipfWeights(opts.Objects, opts.ZipfS))
+	nodeCum := cumulative(zipfWeights(opts.Nodes, opts.NodeSkew))
+	crowd := int(math.Round(opts.CrowdShare * float64(opts.Requests)))
+	base := opts.Requests - crowd
+	tr := &Trace{
+		Accesses:   make([]Access, 0, opts.Requests),
+		NumNodes:   opts.Nodes,
+		NumObjects: opts.Objects,
+		Duration:   opts.Duration,
+	}
+	for i := 0; i < base; i++ {
+		tr.Accesses = append(tr.Accesses, Access{
+			At:     time.Duration(rng.Float64() * float64(opts.Duration)),
+			Node:   sample(nodeCum, rng),
+			Object: sample(objCum, rng),
+		})
+	}
+	for i := 0; i < crowd; i++ {
+		tr.Accesses = append(tr.Accesses, Access{
+			At:     opts.CrowdStart + time.Duration(rng.Float64()*float64(opts.CrowdWidth)),
+			Node:   rng.Intn(opts.Nodes),
+			Object: rng.Intn(opts.HotObjects),
+		})
+	}
+	sortAccesses(tr.Accesses)
+	return tr, nil
+}
+
+// DiurnalOptions configures GenerateDiurnal.
+type DiurnalOptions struct {
+	Nodes    int           // number of sites (default 20)
+	Objects  int           // number of objects (default 1000)
+	Requests int           // total reads (default 300_000)
+	Duration time.Duration // trace horizon (default 24h)
+	Seed     uint64
+	// ZipfS is the object-popularity Zipf exponent (default 1.0).
+	ZipfS float64
+	// Zones is the number of time zones sites are dealt into round-robin
+	// (default 4). A site's activity peaks when its zone's local day
+	// peaks; zone peaks are spread evenly across one Period.
+	Zones int
+	// Period is the length of one day-night cycle (default 24h).
+	Period time.Duration
+	// NightFloor is the activity of a zone at its trough relative to its
+	// peak, in (0, 1] (default 0.1: nights are quiet, not silent).
+	NightFloor float64
+	// ObjectDrift rotates object popularity ranks once per Period/Zones
+	// step when true, so each zone's day has its own hot set; reactive
+	// heuristics then re-learn the hot set as the planet turns.
+	ObjectDrift bool
+}
+
+func (o DiurnalOptions) withDefaults() DiurnalOptions {
+	if o.Nodes == 0 {
+		o.Nodes = 20
+	}
+	if o.Objects == 0 {
+		o.Objects = 1000
+	}
+	if o.Requests == 0 {
+		o.Requests = 300_000
+	}
+	if o.Duration == 0 {
+		o.Duration = 24 * time.Hour
+	}
+	if o.ZipfS == 0 {
+		o.ZipfS = 1.0
+	}
+	if o.Zones == 0 {
+		o.Zones = 4
+	}
+	if o.Period == 0 {
+		o.Period = 24 * time.Hour
+	}
+	if o.NightFloor == 0 {
+		o.NightFloor = 0.1
+	}
+	return o
+}
+
+// GenerateDiurnal produces a diurnal-shift workload: request times are
+// uniform over the horizon, but which sites originate them follows a
+// sinusoidal day-night cycle offset per time zone, so demand circles the
+// globe once per Period. With ObjectDrift the hot object set additionally
+// rotates as the active zone changes.
+func GenerateDiurnal(opts DiurnalOptions) (*Trace, error) {
+	opts = opts.withDefaults()
+	if opts.Nodes <= 0 || opts.Objects <= 0 || opts.Requests <= 0 {
+		return nil, errors.New("workload: nodes, objects and requests must be positive")
+	}
+	if opts.Duration <= 0 || opts.Period <= 0 {
+		return nil, errors.New("workload: duration and period must be positive")
+	}
+	if opts.Zones < 1 || opts.Zones > opts.Nodes {
+		return nil, errors.New("workload: Zones must be in [1, Nodes]")
+	}
+	if opts.NightFloor <= 0 || opts.NightFloor > 1 {
+		return nil, errors.New("workload: NightFloor must be in (0, 1]")
+	}
+	rng := xrand.New(opts.Seed)
+	objW := zipfWeights(opts.Objects, opts.ZipfS)
+	objCum := cumulative(objW)
+
+	// Discretize the cycle: node activity is piecewise constant over
+	// steps of Period/steps, which keeps sampling O(log n) per access via
+	// one precomputed cumulative distribution per step.
+	const steps = 24
+	stepLen := opts.Period / steps
+	nodeCums := make([][]float64, steps)
+	for s := 0; s < steps; s++ {
+		w := make([]float64, opts.Nodes)
+		for n := 0; n < opts.Nodes; n++ {
+			zone := n % opts.Zones
+			// Zone z peaks at phase z/Zones of the cycle.
+			phase := float64(s)/steps - float64(zone)/float64(opts.Zones)
+			day := (1 + math.Cos(2*math.Pi*phase)) / 2 // 1 at peak, 0 at trough
+			w[n] = opts.NightFloor + (1-opts.NightFloor)*day
+		}
+		nodeCums[s] = cumulative(w)
+	}
+	// With drift, rank rotation advances once per zone-step of the cycle.
+	driftStep := opts.Period / time.Duration(opts.Zones)
+
+	tr := &Trace{
+		Accesses:   make([]Access, opts.Requests),
+		NumNodes:   opts.Nodes,
+		NumObjects: opts.Objects,
+		Duration:   opts.Duration,
+	}
+	for i := range tr.Accesses {
+		at := time.Duration(rng.Float64() * float64(opts.Duration))
+		step := int((at % opts.Period) / stepLen)
+		if step >= steps {
+			step = steps - 1
+		}
+		obj := sample(objCum, rng)
+		if opts.ObjectDrift {
+			obj = (obj + int(at/driftStep)*17) % opts.Objects
+		}
+		tr.Accesses[i] = Access{
+			At:     at,
+			Node:   sample(nodeCums[step], rng),
+			Object: obj,
+		}
+	}
+	sortAccesses(tr.Accesses)
+	return tr, nil
+}

@@ -5,7 +5,9 @@
 #   2. two identical concurrent submissions cost one solve (cache hit),
 #   3. DELETE aborts a running job mid-solve,
 #   4. served bounds are byte-identical to the serial cmd/bounds sweep,
-#   5. SIGTERM drains the daemon cleanly.
+#   5. a scenario-spec job compiles server-side and its bounds match
+#      cmd/bounds -scenario on the same spec file,
+#   6. SIGTERM drains the daemon cleanly.
 # Needs only go, curl, grep and diff.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -111,6 +113,26 @@ for wl in web group; do
     exit 1
   }
 done
+
+echo "== scenario-spec job matches bounds -scenario byte for byte =="
+cat >"$WORK/scn.json" <<'JSON'
+{
+  "name": "e2e-transit-stub",
+  "seed": 11,
+  "topology": {"model": "transit-stub", "nodes": 10},
+  "workload": {"model": "web", "objects": 10, "requests": 2000, "horizonMillis": 14400000},
+  "qos": [0.9, 0.95],
+  "classes": ["general", "storage-constrained"]
+}
+JSON
+"$WORK/bounds" -scenario "$WORK/scn.json" -parallel 1 >"$WORK/golden_scn.tsv"
+ID=$(submit "{\"scenario\": $(cat "$WORK/scn.json")}" | job_id)
+wait_done "$ID" 300
+curl -fs "$BASE/jobs/$ID/result?format=tsv" >"$WORK/served_scn.tsv"
+diff "$WORK/golden_scn.tsv" "$WORK/served_scn.tsv" || {
+  echo "scenario bounds differ from the bounds -scenario sweep" >&2
+  exit 1
+}
 
 echo "== graceful drain on SIGTERM =="
 kill -TERM "$DAEMON"
