@@ -63,7 +63,7 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 	if fs.NArg() > 0 {
 		return fmt.Errorf("unexpected arguments: %v", fs.Args())
 	}
-	presolveMode, rule, err := lpFlags.Resolve()
+	presolveMode, rule, backend, err := lpFlags.Resolve()
 	if err != nil {
 		return err
 	}
@@ -78,6 +78,7 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 		ColdStart:    !*warmStart,
 		Presolve:     presolveMode,
 		Pricing:      rule,
+		Factor:       backend,
 		MaxJobs:      *maxJobs,
 	})
 

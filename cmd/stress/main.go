@@ -10,7 +10,19 @@
 //	stress -list                                  # registered scenarios
 //	stress                                        # default ladder on the two structural families
 //	stress -scenarios flash-crowd -sizes 20,50    # one family, short ladder
+//	stress -scenarios slow-scenario@100           # skip this scenario's rungs above 100 sites
 //	stress -out results/ -bench ""                # TSVs only, no JSON record
+//	stress -compare                               # diff the last two BENCH_scale.json records
+//
+// A scenario reference may carry an "@maxSites" suffix capping the ladder
+// for that scenario alone — scenarios whose cost grows with request volume
+// (the GROUP-workload families) can then share one run, and one record,
+// with scenarios that climb the full ladder.
+//
+// Rungs at or above -xcheck-above sites additionally run the Lagrangian
+// decomposition engine on the least-constrained class and verify its bound
+// never exceeds the LP bound — an independent sanity check on the solver at
+// exactly the sizes where no second exact solver is affordable.
 package main
 
 import (
@@ -18,6 +30,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -26,6 +39,7 @@ import (
 	"time"
 
 	"wideplace/internal/cli"
+	"wideplace/internal/core"
 	"wideplace/internal/experiments"
 	"wideplace/internal/lp"
 	"wideplace/internal/scenario"
@@ -40,15 +54,17 @@ func main() {
 
 func run() error {
 	var (
-		listFlag  = flag.Bool("list", false, "list registered scenarios and exit")
-		scenFlag  = flag.String("scenarios", "transit-stub-100,remote-office-clustered", "comma-separated scenario names or spec files")
-		sizesFlag = flag.String("sizes", "20,50,100,200", "comma-separated site-count ladder")
-		outFlag   = flag.String("out", ".", "directory for per-size TSV files")
-		benchFlag = flag.String("bench", "BENCH_scale.json", "append the run's record to this JSON file (empty = skip)")
-		rounding  = flag.Bool("rounding", false, "also compute tightness certificates (slower; bounds are unchanged)")
-		parallel  = flag.Int("parallel", 0, "concurrent bound solves (0 = GOMAXPROCS, 1 = serial)")
-		solveCap  = flag.Duration("solve-timeout", 0, "wall-clock cap per LP solve (0 = unlimited)")
-		verbose   = flag.Bool("v", false, "print per-bound progress (incl. solver stats) to stderr")
+		listFlag    = flag.Bool("list", false, "list registered scenarios and exit")
+		scenFlag    = flag.String("scenarios", "transit-stub-100,remote-office-clustered@100", "comma-separated scenario names or spec files, each optionally capped with @maxSites")
+		sizesFlag   = flag.String("sizes", "20,50,100,250,500", "comma-separated site-count ladder")
+		outFlag     = flag.String("out", ".", "directory for per-size TSV files")
+		benchFlag   = flag.String("bench", "BENCH_scale.json", "append the run's record to this JSON file (empty = skip)")
+		rounding    = flag.Bool("rounding", false, "also compute tightness certificates (slower; bounds are unchanged)")
+		parallel    = flag.Int("parallel", 0, "concurrent bound solves (0 = GOMAXPROCS, 1 = serial)")
+		solveCap    = flag.Duration("solve-timeout", 0, "wall-clock cap per LP solve (0 = unlimited)")
+		verbose     = flag.Bool("v", false, "print per-bound progress (incl. solver stats) to stderr")
+		xcheckAbove = flag.Int("xcheck-above", 250, "cross-check rungs with at least this many sites against the Lagrangian bound engine (0 = never)")
+		compareFlag = flag.Bool("compare", false, "diff per-size solver counters between the last two records of -bench and exit")
 	)
 	lpFlags := cli.RegisterLPFlags(flag.CommandLine)
 	flag.Parse()
@@ -59,18 +75,34 @@ func run() error {
 		}
 		return nil
 	}
+	if *compareFlag {
+		return compareRecords(*benchFlag, os.Stdout)
+	}
 
 	sizes, err := parseSizes(*sizesFlag)
 	if err != nil {
 		return err
 	}
-	var specs []scenario.Spec
+	type laddered struct {
+		spec     scenario.Spec
+		maxSites int // 0 = no cap
+	}
+	var specs []laddered
 	for _, ref := range strings.Split(*scenFlag, ",") {
-		spec, err := scenario.Load(strings.TrimSpace(ref))
+		ref = strings.TrimSpace(ref)
+		maxSites := 0
+		if at := strings.LastIndex(ref, "@"); at >= 0 {
+			n, err := strconv.Atoi(ref[at+1:])
+			if err != nil || n < 3 {
+				return fmt.Errorf("bad scenario size cap %q (want name@maxSites with maxSites >= 3)", ref)
+			}
+			maxSites, ref = n, ref[:at]
+		}
+		spec, err := scenario.Load(ref)
 		if err != nil {
 			return err
 		}
-		specs = append(specs, spec)
+		specs = append(specs, laddered{spec: spec, maxSites: maxSites})
 	}
 	if len(specs) == 0 {
 		return fmt.Errorf("no scenarios selected")
@@ -96,9 +128,13 @@ func run() error {
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 	}
-	for _, base := range specs {
+	for _, lad := range specs {
+		base := lad.spec
 		entry := scaleScenario{Name: base.Name}
 		for _, n := range sizes {
+			if lad.maxSites > 0 && n > lad.maxSites {
+				continue
+			}
 			spec := base.WithNodes(n)
 			start := time.Now()
 			res, err := scenario.Compile(spec)
@@ -122,6 +158,17 @@ func run() error {
 			var agg lp.Stats
 			size.Cells, agg = fig.SolverStats()
 			size.Solver = solverCounters(agg)
+			if *xcheckAbove > 0 && n >= *xcheckAbove {
+				xc, err := lagrangianXCheck(res.System, fig, opts.Bound.LP)
+				if err != nil {
+					return fmt.Errorf("%s at %d nodes: Lagrangian cross-check: %w", base.Name, n, err)
+				}
+				size.XCheck = xc
+				if xc != nil {
+					fmt.Fprintf(os.Stderr, "stress: %s n=%d xcheck: lagrangian(%s, qos=%g) = %.0f <= lp bound %.0f\n",
+						base.Name, n, xc.Class, xc.QoS, xc.Lagrangian, xc.LPBound)
+				}
+			}
 			entry.Sizes = append(entry.Sizes, size)
 			fmt.Printf("%s\tn=%d\tcells=%d\titerations=%d\twall=%s\t%s\n",
 				base.Name, n, size.Cells, agg.Iterations, wall.Round(time.Millisecond), path)
@@ -170,44 +217,60 @@ func writeTSV(path string, fig *experiments.Figure) error {
 // scaleSolver mirrors BENCH_sweep.json's solver block: the deterministic
 // effort counters of one sweep.
 type scaleSolver struct {
-	Iterations          int    `json:"iterations"`
-	Phase1Iterations    int    `json:"phase1Iterations"`
-	Refactorizations    int    `json:"refactorizations"`
-	DegenerateSteps     int    `json:"degenerateSteps"`
-	BoundFlips          int    `json:"boundFlips"`
-	PricingScans        int64  `json:"pricingScans"`
-	WarmSolves          int    `json:"warmSolves,omitempty"`
-	ColdSolves          int    `json:"coldSolves,omitempty"`
-	PresolveRowsRemoved int    `json:"presolveRowsRemoved,omitempty"`
-	PresolveColsRemoved int    `json:"presolveColsRemoved,omitempty"`
-	RebindSolves        int    `json:"rebindSolves,omitempty"`
-	Pricing             string `json:"pricing,omitempty"`
+	Iterations       int `json:"iterations"`
+	Phase1Iterations int `json:"phase1Iterations"`
+	// InitialFactorizations (one per solve) and Refactorizations
+	// (mid-solve only) were one conflated counter on records written
+	// before the split; omitempty keeps those records parseable.
+	InitialFactorizations int    `json:"initialFactorizations,omitempty"`
+	Refactorizations      int    `json:"refactorizations"`
+	DegenerateSteps       int    `json:"degenerateSteps"`
+	BoundFlips            int    `json:"boundFlips"`
+	PricingScans          int64  `json:"pricingScans"`
+	WarmSolves            int    `json:"warmSolves,omitempty"`
+	ColdSolves            int    `json:"coldSolves,omitempty"`
+	PresolveRowsRemoved   int    `json:"presolveRowsRemoved,omitempty"`
+	PresolveColsRemoved   int    `json:"presolveColsRemoved,omitempty"`
+	RebindSolves          int    `json:"rebindSolves,omitempty"`
+	Pricing               string `json:"pricing,omitempty"`
 }
 
 func solverCounters(agg lp.Stats) scaleSolver {
 	return scaleSolver{
-		Iterations:          agg.Iterations,
-		Phase1Iterations:    agg.Phase1Iterations,
-		Refactorizations:    agg.Refactorizations,
-		DegenerateSteps:     agg.DegenerateSteps,
-		BoundFlips:          agg.BoundFlips,
-		PricingScans:        agg.PricingScans,
-		WarmSolves:          agg.WarmSolves,
-		ColdSolves:          agg.ColdSolves,
-		PresolveRowsRemoved: agg.PresolveRowsRemoved,
-		PresolveColsRemoved: agg.PresolveColsRemoved,
-		RebindSolves:        agg.RebindSolves,
-		Pricing:             agg.PricingRule,
+		Iterations:            agg.Iterations,
+		Phase1Iterations:      agg.Phase1Iterations,
+		InitialFactorizations: agg.InitialFactorizations,
+		Refactorizations:      agg.Refactorizations,
+		DegenerateSteps:       agg.DegenerateSteps,
+		BoundFlips:            agg.BoundFlips,
+		PricingScans:          agg.PricingScans,
+		WarmSolves:            agg.WarmSolves,
+		ColdSolves:            agg.ColdSolves,
+		PresolveRowsRemoved:   agg.PresolveRowsRemoved,
+		PresolveColsRemoved:   agg.PresolveColsRemoved,
+		RebindSolves:          agg.RebindSolves,
+		Pricing:               agg.PricingRule,
 	}
+}
+
+// scaleXCheck records one rung's Lagrangian cross-check: an independent
+// lower-bound engine run on the least-constrained class at the loosest QoS
+// point, whose value must never exceed the LP bound.
+type scaleXCheck struct {
+	Class      string  `json:"class"`
+	QoS        float64 `json:"qos"`
+	Lagrangian float64 `json:"lagrangian"`
+	LPBound    float64 `json:"lpBound"`
 }
 
 // scaleSize is one ladder rung: the sweep's size, wall time and solver
 // effort. Wall time is the only non-deterministic field.
 type scaleSize struct {
-	Nodes  int         `json:"nodes"`
-	Cells  int         `json:"cells"`
-	WallNs int64       `json:"wallNs"`
-	Solver scaleSolver `json:"solver"`
+	Nodes  int          `json:"nodes"`
+	Cells  int          `json:"cells"`
+	WallNs int64        `json:"wallNs"`
+	Solver scaleSolver  `json:"solver"`
+	XCheck *scaleXCheck `json:"xcheck,omitempty"`
 }
 
 // scaleScenario is one scenario's ladder.
@@ -222,6 +285,113 @@ type scaleRecord struct {
 	GoVersion  string          `json:"goVersion"`
 	GOMAXPROCS int             `json:"gomaxprocs"`
 	Scenarios  []scaleScenario `json:"scenarios"`
+}
+
+// lagrangianXCheck runs the Lagrangian decomposition engine on the
+// least-constrained class at the loosest feasible QoS point of the sweep
+// and verifies its value never exceeds the LP bound there. Any class's LP
+// bound dominates the general class's, which in turn dominates every
+// Lagrangian iterate, so a violation can only mean a solver bug — exactly
+// the independent signal wanted at sizes where no second exact solver is
+// affordable. Returns nil (no check) when the sweep has no feasible
+// general cell.
+func lagrangianXCheck(sys *experiments.System, fig *experiments.Figure, lpOpts lp.Options) (*scaleXCheck, error) {
+	var pt *experiments.Point
+	for si := range fig.Series {
+		s := &fig.Series[si]
+		if s.Name != "general" {
+			continue
+		}
+		for pi := range s.Points {
+			if !s.Points[pi].Infeasible {
+				pt = &s.Points[pi]
+				break
+			}
+		}
+		break
+	}
+	if pt == nil {
+		return nil, nil
+	}
+	inst, err := sys.Instance(pt.QoS)
+	if err != nil {
+		return nil, err
+	}
+	// Few subgradient iterations: every iterate is already a valid lower
+	// bound, and the check needs validity, not tightness.
+	b, err := inst.LagrangianBound(core.General(), core.LagrangianOptions{MaxIters: 60, LP: lpOpts})
+	if err != nil {
+		return nil, err
+	}
+	const tol = 1e-6
+	if b.LPBound > pt.Bound*(1+tol)+tol {
+		return nil, fmt.Errorf("lagrangian bound %.6f exceeds LP bound %.6f at qos=%g", b.LPBound, pt.Bound, pt.QoS)
+	}
+	return &scaleXCheck{Class: "general", QoS: pt.QoS, Lagrangian: b.LPBound, LPBound: pt.Bound}, nil
+}
+
+// compareRecords diffs the per-size solver counters between the last two
+// records of the BENCH_scale.json history, matching scenarios by name and
+// rungs by node count.
+func compareRecords(path string, w io.Writer) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var history []scaleRecord
+	if err := json.Unmarshal(data, &history); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if len(history) < 2 {
+		return fmt.Errorf("%s holds %d record(s); need at least 2 to compare", path, len(history))
+	}
+	prev, last := history[len(history)-2], history[len(history)-1]
+	fmt.Fprintf(w, "comparing records %d (%s) -> %d (%s) of %s\n",
+		len(history)-1, prev.GoVersion, len(history), last.GoVersion, path)
+	for _, sc := range last.Scenarios {
+		var base *scaleScenario
+		for i := range prev.Scenarios {
+			if prev.Scenarios[i].Name == sc.Name {
+				base = &prev.Scenarios[i]
+				break
+			}
+		}
+		if base == nil {
+			fmt.Fprintf(w, "%s: no baseline scenario in previous record\n", sc.Name)
+			continue
+		}
+		for _, sz := range sc.Sizes {
+			var old *scaleSize
+			for i := range base.Sizes {
+				if base.Sizes[i].Nodes == sz.Nodes {
+					old = &base.Sizes[i]
+					break
+				}
+			}
+			if old == nil {
+				fmt.Fprintf(w, "%s n=%d: new rung (no baseline)\n", sc.Name, sz.Nodes)
+				continue
+			}
+			fmt.Fprintf(w, "%s n=%d:\n", sc.Name, sz.Nodes)
+			cmp := func(name, format string, o, n float64) {
+				ratio := "     -"
+				if o != 0 {
+					ratio = fmt.Sprintf("%5.2fx", n/o)
+				}
+				fmt.Fprintf(w, "  %-24s %14s -> %-14s %s\n",
+					name, fmt.Sprintf(format, o), fmt.Sprintf(format, n), ratio)
+			}
+			cmp("wall-seconds", "%.1f", time.Duration(old.WallNs).Seconds(), time.Duration(sz.WallNs).Seconds())
+			cmp("iterations", "%.0f", float64(old.Solver.Iterations), float64(sz.Solver.Iterations))
+			cmp("phase1-iterations", "%.0f", float64(old.Solver.Phase1Iterations), float64(sz.Solver.Phase1Iterations))
+			cmp("initial-factorizations", "%.0f", float64(old.Solver.InitialFactorizations), float64(sz.Solver.InitialFactorizations))
+			cmp("refactorizations", "%.0f", float64(old.Solver.Refactorizations), float64(sz.Solver.Refactorizations))
+			cmp("degenerate-steps", "%.0f", float64(old.Solver.DegenerateSteps), float64(sz.Solver.DegenerateSteps))
+			cmp("bound-flips", "%.0f", float64(old.Solver.BoundFlips), float64(sz.Solver.BoundFlips))
+			cmp("pricing-scans", "%.0f", float64(old.Solver.PricingScans), float64(sz.Solver.PricingScans))
+		}
+	}
+	return nil
 }
 
 // appendRecord extends the JSON-array history file with one record,

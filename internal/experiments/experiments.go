@@ -284,8 +284,8 @@ func (f *Figure) WriteTSV(w io.Writer) error {
 	if pricing == "" {
 		pricing = "none"
 	}
-	_, err := fmt.Fprintf(w, "# solver: cells=%d lp-iterations=%d phase1-iterations=%d refactorizations=%d degenerate-steps=%d bland-activations=%d bound-flips=%d pricing-scans=%d presolve-rows-removed=%d presolve-cols-removed=%d rebind-solves=%d pricing=%s\n",
-		cells, agg.Iterations, agg.Phase1Iterations, agg.Refactorizations,
+	_, err := fmt.Fprintf(w, "# solver: cells=%d lp-iterations=%d phase1-iterations=%d initial-factorizations=%d refactorizations=%d degenerate-steps=%d bland-activations=%d bound-flips=%d pricing-scans=%d presolve-rows-removed=%d presolve-cols-removed=%d rebind-solves=%d pricing=%s\n",
+		cells, agg.Iterations, agg.Phase1Iterations, agg.InitialFactorizations, agg.Refactorizations,
 		agg.DegenerateSteps, agg.BlandActivations, agg.BoundFlips, agg.PricingScans,
 		agg.PresolveRowsRemoved, agg.PresolveColsRemoved, agg.RebindSolves, pricing)
 	return err

@@ -58,8 +58,8 @@ func TestSweepSolverStats(t *testing.T) {
 			// previous basis was already optimal), but every solve factors
 			// its starting basis at least once and is attributed to
 			// exactly one start mode.
-			if p.Stats.Refactorizations <= 0 {
-				t.Errorf("%s at %g: Stats.Refactorizations = %d, want > 0", s.Name, p.QoS, p.Stats.Refactorizations)
+			if p.Stats.InitialFactorizations <= 0 {
+				t.Errorf("%s at %g: Stats.InitialFactorizations = %d, want > 0", s.Name, p.QoS, p.Stats.InitialFactorizations)
 			}
 			if p.Stats.WarmSolves+p.Stats.ColdSolves != 1 {
 				t.Errorf("%s at %g: start-mode ledger %+v, want exactly one solve", s.Name, p.QoS, p.Stats)

@@ -62,8 +62,11 @@ func TestSolveStatsPopulated(t *testing.T) {
 	if st.Iterations <= 0 {
 		t.Errorf("Iterations = %d, want > 0", st.Iterations)
 	}
-	if st.Refactorizations < 1 {
-		t.Errorf("Refactorizations = %d, want >= 1 (the initial basis factorization)", st.Refactorizations)
+	if st.InitialFactorizations != 1 {
+		t.Errorf("InitialFactorizations = %d, want 1 (one setup factorization per solve)", st.InitialFactorizations)
+	}
+	if st.Refactorizations < 0 {
+		t.Errorf("Refactorizations = %d, want >= 0 (mid-solve only)", st.Refactorizations)
 	}
 	if st.PricingScans <= 0 {
 		t.Errorf("PricingScans = %d, want > 0", st.PricingScans)
@@ -98,13 +101,13 @@ func TestStatsDeterministicAcrossSolves(t *testing.T) {
 }
 
 func TestStatsAdd(t *testing.T) {
-	a := Stats{Iterations: 1, Phase1Iterations: 1, Refactorizations: 2, DegenerateSteps: 3,
-		BlandActivations: 1, BoundFlips: 4, PricingScans: 100, Wall: time.Second}
+	a := Stats{Iterations: 1, Phase1Iterations: 1, InitialFactorizations: 1, Refactorizations: 2,
+		DegenerateSteps: 3, BlandActivations: 1, BoundFlips: 4, PricingScans: 100, Wall: time.Second}
 	b := a
 	b.Add(a)
-	if b.Iterations != 2 || b.Refactorizations != 4 || b.DegenerateSteps != 6 ||
-		b.BlandActivations != 2 || b.BoundFlips != 8 || b.PricingScans != 200 ||
-		b.Phase1Iterations != 2 || b.Wall != 2*time.Second {
+	if b.Iterations != 2 || b.InitialFactorizations != 2 || b.Refactorizations != 4 ||
+		b.DegenerateSteps != 6 || b.BlandActivations != 2 || b.BoundFlips != 8 ||
+		b.PricingScans != 200 || b.Phase1Iterations != 2 || b.Wall != 2*time.Second {
 		t.Errorf("Add wrong: %+v", b)
 	}
 }

@@ -21,12 +21,13 @@ type DenseFactor struct {
 var _ Factorizer = (*DenseFactor)(nil)
 
 // NewDenseFactor returns a dense factorization backend. maxEtas bounds the
-// eta file length before a refactorization is requested (0 means a default).
+// eta file length before a refactorization is requested (0 means the shared
+// default, denseMaxEtas).
 func NewDenseFactor(maxEtas int) *DenseFactor {
 	if maxEtas <= 0 {
-		maxEtas = 64
+		maxEtas = denseMaxEtas
 	}
-	return &DenseFactor{maxEtas: maxEtas, pivTol: 1e-10}
+	return &DenseFactor{maxEtas: maxEtas, pivTol: factorPivTol}
 }
 
 // Factor implements Factorizer.

@@ -4,8 +4,10 @@ package lp
 // simplex core uses it through FTRAN (solve B*x = b) and BTRAN (solve
 // B^T*y = c), plus an incremental Update when one basis column is replaced.
 //
-// Implementations append product-form eta vectors on Update and signal via
-// the returned bool when a full refactorization is advisable.
+// Implementations absorb the Update either as a product-form eta
+// (DenseFactor) or as a Forrest-Tomlin modification of the stored factors
+// (SparseFactor), and signal via the returned bool when a full
+// refactorization is advisable.
 type Factorizer interface {
 	// Factor (re)factorizes the basis given by the m column indices in
 	// basis, drawing columns from the problem matrix a.
@@ -15,10 +17,59 @@ type Factorizer interface {
 	// Btran solves B^T*y = c in place (c has length m).
 	Btran(c []float64)
 	// Update replaces basis position pos with a column whose FTRAN image
-	// (B^-1 * a_q) is w. It returns refactor=true when the eta file has
-	// grown enough that a fresh Factor call is recommended, and an error
-	// when the pivot element is numerically unusable.
+	// (B^-1 * a_q) is w — the w most recently produced by Ftran, which
+	// lets implementations reuse that solve's sparsity pattern instead of
+	// rescanning all of w. It returns refactor=true when the update
+	// machinery has grown enough that a fresh Factor call is recommended,
+	// and an error when the pivot element is numerically unusable. After a
+	// non-nil error the stored factorization may be invalid (a
+	// Forrest-Tomlin update fails halfway through); the caller must Factor
+	// before the next solve.
 	Update(w []float64, pos int) (refactor bool, err error)
+}
+
+// FactorBackend selects the basis factorization backend by value, so a
+// single Options struct can be shared across concurrent solves (unlike
+// Options.Factorizer, which injects one stateful instance).
+type FactorBackend int
+
+// Available factorization backends. The zero value resolves to the
+// size-based automatic choice so a zero Options struct keeps the
+// recommended configuration.
+const (
+	// FactorAuto picks DenseFactor for bases up to Options.DenseLimit rows
+	// and SparseFactor beyond.
+	FactorAuto FactorBackend = iota
+	// FactorDense forces the dense LU with product-form eta updates.
+	FactorDense
+	// FactorSparse forces the sparse LU with Forrest-Tomlin updates.
+	FactorSparse
+)
+
+// String names the backend as it appears in flags and reports.
+func (b FactorBackend) String() string {
+	switch b {
+	case FactorDense:
+		return "dense"
+	case FactorSparse:
+		return "sparse"
+	default:
+		return "auto"
+	}
+}
+
+// ParseFactorBackend maps a command-line flag value onto a backend.
+func ParseFactorBackend(s string) (FactorBackend, bool) {
+	switch s {
+	case "", "auto":
+		return FactorAuto, true
+	case "dense":
+		return FactorDense, true
+	case "sparse":
+		return FactorSparse, true
+	default:
+		return FactorAuto, false
+	}
 }
 
 // eta is one product-form update: B_new^-1 = E * B_old^-1 where E differs
@@ -30,8 +81,8 @@ type eta struct {
 	pivv float64 // value at position pos of the eta column (the pivot)
 }
 
-// etaFile is a sequence of product-form updates shared by both factorization
-// backends.
+// etaFile is a sequence of product-form updates used by the dense
+// factorization backend.
 type etaFile struct {
 	etas []eta
 }
@@ -49,7 +100,7 @@ func (f *etaFile) push(w []float64, pos int, pivTol float64) error {
 	}
 	e := eta{pos: pos, pivv: piv}
 	for i, v := range w {
-		if i != pos && abs(v) > 1e-12 {
+		if i != pos && abs(v) > factorDropTol {
 			e.idx = append(e.idx, i)
 			e.val = append(e.val, v)
 		}

@@ -1,6 +1,7 @@
 package lp
 
 import (
+	"fmt"
 	"math"
 	"testing"
 	"testing/quick"
@@ -225,5 +226,81 @@ func TestPartialPricingMatchesFull(t *testing.T) {
 		if math.Abs(full.Objective-partial.Objective) > 1e-5*math.Max(1, math.Abs(full.Objective)) {
 			t.Errorf("seed %d: full %g != partial %g", seed, full.Objective, partial.Objective)
 		}
+	}
+}
+
+// benchBackendCycle drives one backend through the simplex's per-iteration
+// factorization traffic — FTRAN of an entering column, a BTRAN (the devex
+// pivot row), and the basis update, refactorizing when the backend asks —
+// on the well-conditioned twin-column matrix of the long-chain test. The
+// dense/sparse crossover (the Options.DenseLimit default) is chosen where
+// the sparse backend overtakes the dense one on this cycle.
+func benchBackendCycle(b *testing.B, f Factorizer, m int) {
+	rng := newTestRand(42)
+	tb := NewTripletBuilder(m, 2*m)
+	for j := 0; j < 2*m; j++ {
+		tb.Add(j%m, j, 2+rng.float()*3)
+		if j >= m {
+			tb.Add(rng.intn(m), j, rng.float()-0.5)
+		}
+	}
+	a := tb.ToCSC()
+	basis := make([]int, m)
+	inBasis := make([]bool, 2*m)
+	for i := range basis {
+		basis[i] = i
+		inBasis[i] = true
+	}
+	if err := f.Factor(a, basis); err != nil {
+		b.Fatal(err)
+	}
+	w := make([]float64, m)
+	scratch := make([]float64, m)
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		pos := rng.intn(m)
+		newCol := (basis[pos] + m) % (2 * m)
+		if inBasis[newCol] {
+			continue
+		}
+		for i := range w {
+			w[i] = 0
+		}
+		ri, rv := a.Col(newCol)
+		for k, r := range ri {
+			w[r] = rv[k]
+		}
+		f.Ftran(w)
+		if abs(w[pos]) < 1e-6 {
+			continue
+		}
+		for i := range scratch {
+			scratch[i] = 0
+		}
+		scratch[pos] = 1
+		f.Btran(scratch)
+		inBasis[basis[pos]] = false
+		inBasis[newCol] = true
+		basis[pos] = newCol
+		refactor, err := f.Update(w, pos)
+		if err != nil {
+			refactor = true
+		}
+		if refactor {
+			if err := f.Factor(a, basis); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkFactorCycle(b *testing.B) {
+	for _, m := range []int{10, 20, 30, 50, 75, 100, 200, 400} {
+		b.Run(fmt.Sprintf("dense/m=%d", m), func(b *testing.B) {
+			benchBackendCycle(b, NewDenseFactor(0), m)
+		})
+		b.Run(fmt.Sprintf("sparse/m=%d", m), func(b *testing.B) {
+			benchBackendCycle(b, NewSparseFactor(0), m)
+		})
 	}
 }

@@ -2,6 +2,7 @@ package lp
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"time"
@@ -29,9 +30,18 @@ type Options struct {
 	// which the solver switches to Bland's rule (0 = automatic).
 	BlandAfter int
 	// DenseLimit is the basis size up to which the dense factorization is
-	// used when Factorizer is nil (0 = automatic).
+	// used when the backend choice is automatic (0 = automatic, currently
+	// 25: BenchmarkFactorCycle puts the dense/sparse crossover near 25
+	// rows on the simplex's per-iteration factorization traffic, with the
+	// sparse backend ahead by orders of magnitude at a few hundred rows).
 	DenseLimit int
-	// Factorizer overrides the automatic factorization choice.
+	// Factor selects the factorization backend (zero value = automatic:
+	// dense up to DenseLimit rows, sparse beyond). Being a value it is safe
+	// to share one Options struct across concurrent solves.
+	Factor FactorBackend
+	// Factorizer overrides the backend choice with a caller-provided
+	// instance. It is stateful: never share an Options struct carrying a
+	// Factorizer across concurrent solves. Prefer Factor.
 	Factorizer Factorizer
 	// SectionSize is the number of columns scanned per iteration by the
 	// partial-pricing rule (0 = automatic; negative = full Dantzig
@@ -69,7 +79,7 @@ func (o Options) withDefaults(m, n int) Options {
 		o.BlandAfter = 1000
 	}
 	if o.DenseLimit == 0 {
-		o.DenseLimit = 600
+		o.DenseLimit = 25
 	}
 	if o.SectionSize == 0 {
 		o.SectionSize = 2000
@@ -140,6 +150,42 @@ type simplex struct {
 	gamma []float64 // devex weight per column
 	beta  []float64 // scratch for the pivot row of B^-1
 
+	// Devex reduced-cost cache: d_j maintained incrementally across pivots
+	// (d'_j = d_j - (d_q/alpha_q) alpha_j over the pivot row's pattern)
+	// instead of recomputed from fresh duals every iteration. dDirty forces
+	// a rebuild — set on phase entry, refactorization and pivot rejection,
+	// where the incremental formula stops holding.
+	d        []float64
+	dDirty   bool
+	dAge     int // pivots absorbed since the last rebuild
+	maxGamma float64
+
+	// Phase-1 cost flips of the current iteration: basis positions whose
+	// infeasibility band changed when the basics moved, and the band delta.
+	// A sparse BTRAN of the deltas folds the cost change into the cache
+	// exactly (applyCostCorrection) instead of forcing a full rebuild.
+	flipPos   []int32
+	flipDelta []float64
+
+	// Row-major (CSR) copy of p.cols for the devex pivot-row gather.
+	rowPtr []int32
+	rowCol []int32
+	rowVal []float64
+	// Stamped scratch holding the pivot row alpha = beta^T A sparsely.
+	alpha     []float64
+	alphaPat  []int32
+	alphaFlag []int32
+	alphaMark int32
+
+	// Shunned columns: entering candidates whose pivot was undone because
+	// the pivoted basis had no usable factorization. A stamp equal to
+	// shunGen excludes the column from pricing; the set clears (by bumping
+	// shunGen) at the next successful pivot, which changes the basis the
+	// dependence was measured against. Allocated on first rejection.
+	shunStamp []int32
+	shunGen   int32
+	anyShun   bool
+
 	stats     Stats
 	start     time.Time
 	deadline  time.Time // zero when no timeout is set
@@ -161,11 +207,16 @@ func newSimplex(p *Problem, opts Options) *simplex {
 		w:      make([]float64, m),
 		rhs0:   make([]float64, m),
 	}
-	if opts.Factorizer != nil {
+	switch {
+	case opts.Factorizer != nil:
 		s.fac = opts.Factorizer
-	} else if m <= opts.DenseLimit {
+	case opts.Factor == FactorDense:
 		s.fac = NewDenseFactor(0)
-	} else {
+	case opts.Factor == FactorSparse:
+		s.fac = NewSparseFactor(0)
+	case m <= opts.DenseLimit:
+		s.fac = NewDenseFactor(0)
+	default:
 		s.fac = NewSparseFactor(0)
 	}
 	if opts.Pricing == PricingDevex {
@@ -203,7 +254,7 @@ func (s *simplex) solve() (*Solution, error) {
 			return nil, err
 		}
 	}
-	s.stats.Refactorizations++
+	s.stats.InitialFactorizations++
 	s.recomputeXB()
 
 	// Phase 1: drive infeasibility to zero.
@@ -404,7 +455,15 @@ func (s *simplex) score(j int, phase1 bool) (score, dir float64) {
 	if st == basic {
 		return 0, 0
 	}
-	d := s.reducedCost(j, phase1)
+	if s.anyShun && s.shunStamp[j] == s.shunGen {
+		return 0, 0
+	}
+	var d float64
+	if s.devex {
+		d = s.d[j] // cache is fresh: loop() rebuilds it before pricing
+	} else {
+		d = s.reducedCost(j, phase1)
+	}
 	switch st {
 	case nonbasicLower:
 		return -d, 1
@@ -532,6 +591,9 @@ func (s *simplex) ratioTest(q int, dir float64, phase1 bool) (ratioEvent, bool) 
 
 // loop runs simplex iterations for one phase.
 func (s *simplex) loop(phase1 bool) error {
+	// Each phase has its own cost vector, so the devex reduced-cost cache
+	// never survives a phase boundary.
+	s.dDirty = true
 	for {
 		if s.iter >= s.opts.MaxIter {
 			return fmt.Errorf("%w after %d iterations", ErrIterLimit, s.iter)
@@ -545,15 +607,38 @@ func (s *simplex) loop(phase1 bool) error {
 		if phase1 && s.infeasibility() <= s.opts.Tol {
 			return nil
 		}
-		if phase1 {
-			s.phase1Costs()
+		refreshed := false
+		if s.devex {
+			// The Bland fallback also prices through the cache (score());
+			// refresh every iteration while it is active so anti-cycling
+			// sees exact signs.
+			if s.dDirty || s.bland || s.dAge >= devexRefreshEvery {
+				s.refreshD(phase1)
+				refreshed = true
+			}
 		} else {
-			s.phase2Costs()
+			if phase1 {
+				s.phase1Costs()
+			} else {
+				s.phase2Costs()
+			}
+			copy(s.y, s.cB)
+			s.fac.Btran(s.y)
 		}
-		copy(s.y, s.cB)
-		s.fac.Btran(s.y)
 		q, dir := s.price(phase1)
+		if q < 0 && s.devex && !refreshed {
+			// Optimality must be certified against exact reduced costs, not
+			// the incrementally drifted cache.
+			s.refreshD(phase1)
+			q, dir = s.price(phase1)
+		}
 		if q < 0 {
+			if s.anyShun {
+				// Every remaining attractive column is shunned: each one's
+				// pivot led to a basis with no usable factorization, so the
+				// solver cannot make progress or certify optimality.
+				return fmt.Errorf("%w: only numerically unusable entering columns remain", ErrNumerical)
+			}
 			return nil // optimal for this phase
 		}
 		// FTRAN the entering column.
@@ -587,12 +672,37 @@ func (s *simplex) loop(phase1 bool) error {
 			s.degenerate = 0
 			s.bland = false
 		}
-		// Move the entering variable and update basics.
+		// Move the entering variable and update basics. In phase 1 the cost
+		// of a basic column is its infeasibility band (-1/0/+1); a move that
+		// carries a basic across a band boundary changes the cost vector.
+		// Each crossing is collected as a (position, band delta) pair so the
+		// reduced-cost cache can absorb the change exactly; cB is kept in
+		// step with the current bands. The pivot position is excluded — the
+		// leaving column's cost drop to 0 enters the cache through d[leave]
+		// directly (leaveShift below), not through the duals.
 		step := dir * ev.t
+		trackFlips := phase1 && s.devex && !s.dDirty
+		s.flipPos, s.flipDelta = s.flipPos[:0], s.flipDelta[:0]
+		tol := s.opts.Tol
 		for i := range s.xB {
 			if s.w[i] != 0 {
 				s.xB[i] -= step * s.w[i]
 				s.x[s.basis[i]] = s.xB[i]
+				if trackFlips && i != ev.pos {
+					qi, v := s.basis[i], s.xB[i]
+					band := 0.0
+					switch {
+					case v < s.p.lo[qi]-tol:
+						band = -1
+					case v > s.p.hi[qi]+tol:
+						band = 1
+					}
+					if band != s.cB[i] {
+						s.flipPos = append(s.flipPos, int32(i))
+						s.flipDelta = append(s.flipDelta, band-s.cB[i])
+						s.cB[i] = band
+					}
+				}
 			}
 		}
 		if ev.pos < 0 {
@@ -605,10 +715,17 @@ func (s *simplex) loop(phase1 bool) error {
 				s.status[q] = nonbasicLower
 				s.x[q] = s.p.lo[q]
 			}
+			// No basis change, but the move may have flipped bands.
+			if trackFlips && len(s.flipPos) > 0 {
+				s.applyCostCorrection()
+			}
 			continue
 		}
 		// Pivot: q enters at basis position ev.pos; the old basic leaves.
+		// The entering column's pre-pivot state is kept so a pivot whose
+		// basis turns out to have no factorization can be undone.
 		leave := s.basis[ev.pos]
+		qStatus, qX := s.status[q], s.x[q]
 		if ev.atHi {
 			s.status[leave] = nonbasicUpper
 			s.x[leave] = s.p.hi[leave]
@@ -620,24 +737,104 @@ func (s *simplex) loop(phase1 bool) error {
 		s.xB[ev.pos] = s.x[q]
 		s.basis[ev.pos] = q
 		s.status[q] = basic
+		// The pivot position swaps costs: the leaving column's band
+		// (cB[ev.pos]) drops to 0 as it exits to a feasible bound — a direct
+		// shift of d[leave], since leave is nonbasic now — and the entering
+		// column picks up the band of its new value, a basic cost change
+		// folded in through the dual correction like any other flip.
+		var leaveShift float64
+		if trackFlips {
+			leaveShift = -s.cB[ev.pos]
+			v := s.xB[ev.pos]
+			band := 0.0
+			switch {
+			case v < s.p.lo[q]-tol:
+				band = -1
+			case v > s.p.hi[q]+tol:
+				band = 1
+			}
+			if band != 0 {
+				s.flipPos = append(s.flipPos, int32(ev.pos))
+				s.flipDelta = append(s.flipDelta, band)
+			}
+			s.cB[ev.pos] = band
+		}
 
 		if s.devex {
 			// Must run against the pre-pivot factorization: the weight
 			// update needs the outgoing basis inverse's pivot row.
-			s.devexUpdate(q, ev.pos, leave)
+			s.devexUpdate(q, ev.pos, leave, leaveShift)
 		}
 		refactor, err := s.fac.Update(s.w, ev.pos)
 		if err != nil {
+			// A numerically unusable pivot is recoverable: refactorizing
+			// from scratch absorbs the basis change exactly. Anything else
+			// is a contract violation and must surface, not be papered
+			// over by a refactorization.
+			if !errors.Is(err, ErrNumerical) {
+				return fmt.Errorf("lp: basis update at iteration %d: %w", s.iter, err)
+			}
 			refactor = true
 		}
 		if refactor {
 			if err := s.fac.Factor(s.p.cols, s.basis); err != nil {
-				return err
+				if !errors.Is(err, ErrNumerical) {
+					return err
+				}
+				// The pivoted basis has no usable factorization: the
+				// entering column is numerically dependent on the rest of
+				// the basis, and its acceptable ratio-test pivot existed
+				// only through round-off. Undo the pivot, refactorize the
+				// previous basis (known good) and shun the column until the
+				// next successful pivot changes the basis. The devex
+				// weights keep their post-pivot values; they are heuristic
+				// and self-correct.
+				s.basis[ev.pos] = leave
+				s.status[leave] = basic
+				s.status[q] = qStatus
+				s.x[q] = qX
+				if err := s.fac.Factor(s.p.cols, s.basis); err != nil {
+					return fmt.Errorf("lp: refactorizing restored basis: %w", err)
+				}
+				s.stats.Refactorizations++
+				s.stats.PivotRejections++
+				s.recomputeXB()
+				s.shunColumn(q)
+				// devexUpdate already folded the undone pivot into the
+				// reduced-cost cache; rebuild it.
+				s.dDirty = true
+				continue
 			}
 			s.stats.Refactorizations++
 			s.recomputeXB()
+			// recomputeXB can nudge basic values across phase-1 bands, and
+			// the fresh factorization gives cheaper exact duals anyway.
+			s.dDirty = true
+		}
+		// Fold this iteration's phase-1 cost flips into the cache. Runs
+		// against the post-pivot factorization (Update absorbed the pivot);
+		// a refactorization marks the cache dirty and skips this.
+		if s.devex && !s.dDirty && len(s.flipPos) > 0 {
+			s.applyCostCorrection()
+		}
+		if s.anyShun {
+			// A pivot succeeded: the basis the shunned columns were
+			// dependent on is gone, so they become candidates again.
+			s.shunGen++
+			s.anyShun = false
 		}
 	}
+}
+
+// shunColumn excludes column q from pricing until the next successful
+// pivot (score reports it as unattractive).
+func (s *simplex) shunColumn(q int) {
+	if s.shunStamp == nil {
+		s.shunStamp = make([]int32, s.n)
+		s.shunGen = 1
+	}
+	s.shunStamp[q] = s.shunGen
+	s.anyShun = true
 }
 
 func (s *simplex) buildSolution() *Solution {

@@ -209,66 +209,20 @@ func (f *sparseLU) lsolve(x []float64) {
 	}
 }
 
-// usolve solves U*x = x in place.
-func (f *sparseLU) usolve(x []float64) {
-	for j := f.m - 1; j >= 0; j-- {
-		e := f.up[j+1] - 1
-		xj := x[j] / f.ux[e]
-		x[j] = xj
-		if xj == 0 {
-			continue
-		}
-		for p := f.up[j]; p < e; p++ {
-			x[f.ui[p]] -= f.ux[p] * xj
-		}
-	}
-}
-
-// utsolve solves U^T*x = x in place.
-func (f *sparseLU) utsolve(x []float64) {
-	for j := 0; j < f.m; j++ {
-		s := x[j]
-		e := f.up[j+1] - 1
-		for p := f.up[j]; p < e; p++ {
-			s -= f.ux[p] * x[f.ui[p]]
-		}
-		x[j] = s / f.ux[e]
-	}
-}
-
-// ltsolve solves L^T*x = x in place.
+// ltsolve solves L^T*x = x in place. Rows past the last nonzero input are
+// skipped: each depends only on later rows (L^T is upper triangular with
+// unit diagonal), all zero there, so those entries stay exactly 0.
 func (f *sparseLU) ltsolve(x []float64) {
-	for j := f.m - 1; j >= 0; j-- {
+	j := f.m - 1
+	for j >= 0 && x[j] == 0 {
+		j--
+	}
+	for ; j >= 0; j-- {
 		s := x[j]
 		for p := f.lp[j] + 1; p < f.lp[j+1]; p++ {
 			s -= f.lx[p] * x[f.li[p]]
 		}
 		x[j] = s
-	}
-}
-
-// solve computes x = B^-1 b in place.
-func (f *sparseLU) solve(b []float64, tmp []float64) {
-	// tmp[pinv[i]] = b[i]; then L,U solves; then undo column perm.
-	for i := 0; i < f.m; i++ {
-		tmp[f.pinv[i]] = b[i]
-	}
-	f.lsolve(tmp)
-	f.usolve(tmp)
-	for k := 0; k < f.m; k++ {
-		b[f.q[k]] = tmp[k]
-	}
-}
-
-// solveT computes y = B^-T c in place.
-func (f *sparseLU) solveT(c []float64, tmp []float64) {
-	for k := 0; k < f.m; k++ {
-		tmp[k] = c[f.q[k]]
-	}
-	f.utsolve(tmp)
-	f.ltsolve(tmp)
-	for i := 0; i < f.m; i++ {
-		c[i] = tmp[f.pinv[i]]
 	}
 }
 

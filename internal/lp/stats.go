@@ -16,9 +16,23 @@ type Stats struct {
 	// Phase1Iterations is the share of Iterations spent driving out
 	// primal infeasibility before the true objective is optimized.
 	Phase1Iterations int
-	// Refactorizations counts full basis factorizations, including the
-	// initial one (everything else is a product-form eta update).
+	// InitialFactorizations counts the basis factorizations that set up a
+	// solve (one per solve that reaches the simplex loop, whether the basis
+	// came from a warm start or the crash heuristic).
+	InitialFactorizations int
+	// Refactorizations counts mid-solve basis refactorizations: those
+	// triggered because the update machinery (eta file or Forrest-Tomlin
+	// updates) grew stale, filled in, or hit a numerically unusable pivot.
+	// This is the update-path churn counter; it excludes the initial
+	// factorization, which InitialFactorizations reports separately.
 	Refactorizations int
+	// PivotRejections counts pivots that were undone because the pivoted
+	// basis had no usable factorization: the entering column was
+	// numerically dependent on the rest of the basis, so its acceptable
+	// ratio-test pivot existed only through round-off. The solver restores
+	// the previous basis, shuns the column until the next successful
+	// pivot, and re-prices.
+	PivotRejections int
 	// DegenerateSteps counts iterations whose step length was (near) zero.
 	DegenerateSteps int
 	// BlandActivations counts transitions into Bland's anti-cycling rule
@@ -38,9 +52,10 @@ type Stats struct {
 	WarmSolves int
 	ColdSolves int
 	// WarmIterations/ColdIterations and WarmRefactorizations/
-	// ColdRefactorizations split Iterations and Refactorizations by start
-	// mode. Per solve the matching field mirrors the total and the other
-	// is zero; aggregated sums satisfy Warm* + Cold* == total.
+	// ColdRefactorizations split Iterations and Refactorizations (the
+	// mid-solve count) by start mode. Per solve the matching field mirrors
+	// the total and the other is zero; aggregated sums satisfy
+	// Warm* + Cold* == total.
 	WarmIterations       int
 	ColdIterations       int
 	WarmRefactorizations int
@@ -69,7 +84,9 @@ type Stats struct {
 func (s *Stats) Add(other Stats) {
 	s.Iterations += other.Iterations
 	s.Phase1Iterations += other.Phase1Iterations
+	s.InitialFactorizations += other.InitialFactorizations
 	s.Refactorizations += other.Refactorizations
+	s.PivotRejections += other.PivotRejections
 	s.DegenerateSteps += other.DegenerateSteps
 	s.BlandActivations += other.BlandActivations
 	s.BoundFlips += other.BoundFlips

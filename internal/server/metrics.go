@@ -123,7 +123,8 @@ func (m *metrics) write(w io.Writer, g gaugeSet, lpSolves int, lpTotal lp.Stats)
 	counter("placementd_lp_solves_total", "Completed bound sweeps whose solver effort is aggregated below.", uint64(lpSolves))
 	counter("placementd_lp_iterations_total", "Simplex iterations across all solves.", uint64(lpTotal.Iterations))
 	counter("placementd_lp_phase1_iterations_total", "Phase-1 simplex iterations across all solves.", uint64(lpTotal.Phase1Iterations))
-	counter("placementd_lp_refactorizations_total", "Basis refactorizations across all solves.", uint64(lpTotal.Refactorizations))
+	counter("placementd_lp_initial_factorizations_total", "Setup basis factorizations (one per solve) across all solves.", uint64(lpTotal.InitialFactorizations))
+	counter("placementd_lp_refactorizations_total", "Mid-solve basis refactorizations across all solves.", uint64(lpTotal.Refactorizations))
 	counter("placementd_lp_degenerate_steps_total", "Degenerate simplex steps across all solves.", uint64(lpTotal.DegenerateSteps))
 	counter("placementd_lp_bland_activations_total", "Transitions into Bland's anti-cycling rule.", uint64(lpTotal.BlandActivations))
 	counter("placementd_lp_bound_flips_total", "Nonbasic bound-to-bound moves across all solves.", uint64(lpTotal.BoundFlips))

@@ -50,6 +50,9 @@ type Config struct {
 	// Pricing selects the simplex pricing rule for job sweeps (default
 	// PricingAuto = devex).
 	Pricing lp.PricingRule
+	// Factor selects the basis factorization backend for job sweeps
+	// (default FactorAuto = size-based).
+	Factor lp.FactorBackend
 	// MaxJobs bounds retained finished jobs (default 1024); the oldest
 	// finished jobs (and their cached results) are evicted beyond it.
 	MaxJobs int
@@ -248,6 +251,7 @@ func (s *Server) runJob(j *Job) {
 		opts.Bound.LP.CheckEvery = s.cfg.CheckEvery
 		opts.Bound.LP.Presolve = s.cfg.Presolve
 		opts.Bound.LP.Pricing = s.cfg.Pricing
+		opts.Bound.LP.Factor = s.cfg.Factor
 		fig, err = j.plan.run(sys, opts)
 	}
 	state := j.finish(fig, err, time.Now())

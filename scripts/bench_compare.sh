@@ -18,6 +18,13 @@
 # self-contained awk fallback reports per-benchmark means and the
 # old/new ratio. Nothing is downloaded either way.
 #
+#   scripts/bench_compare.sh --scale [FILE]    diff the per-size solver
+#                                              counters between the last two
+#                                              records of BENCH_scale.json
+#                                              (delegates to cmd/stress
+#                                              -compare; FILE overrides the
+#                                              default record path)
+#
 # Environment:
 #   BENCH_COUNT    repetitions per benchmark (default 3; raise for benchstat
 #                  significance testing)
@@ -25,6 +32,11 @@
 #                  BenchmarkSweep(Warm|Cold|Presolved)$)
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+if [ "${1:-}" = "--scale" ]; then
+    shift
+    exec go run ./cmd/stress -compare ${1:+-bench "$1"}
+fi
 
 count="${BENCH_COUNT:-3}"
 pattern="${BENCH_PATTERN:-BenchmarkSweep(Warm|Cold|Presolved)\$}"
