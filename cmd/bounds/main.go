@@ -24,7 +24,6 @@ import (
 	"wideplace/internal/cli"
 	"wideplace/internal/core"
 	"wideplace/internal/experiments"
-	"wideplace/internal/scenario"
 	"wideplace/internal/topology"
 )
 
@@ -69,21 +68,15 @@ func run() error {
 		err        error
 	)
 	if *scenarioFlag != "" {
-		scn, err := scenario.Load(*scenarioFlag)
-		if err != nil {
-			return err
-		}
+		var qos []float64
 		if *qosFlag != "" {
-			if scn.QoS, err = parseQoS(*qosFlag); err != nil {
+			if qos, err = parseQoS(*qosFlag); err != nil {
 				return err
 			}
 		}
-		res, err := scenario.Compile(scn)
+		res, err := cli.ResolveScenario(*scenarioFlag, "bounds", cli.ScenarioOptions{QoS: qos}, os.Stderr)
 		if err != nil {
 			return err
-		}
-		for _, w := range res.Warnings {
-			fmt.Fprintf(os.Stderr, "bounds: %s: %s\n", scn.Name, w)
 		}
 		sys, scnClasses = res.System, res.Classes
 	} else {

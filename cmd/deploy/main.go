@@ -13,7 +13,6 @@ import (
 
 	"wideplace/internal/cli"
 	"wideplace/internal/experiments"
-	"wideplace/internal/scenario"
 )
 
 func main() {
@@ -42,16 +41,9 @@ func run(args []string, stdout io.Writer) error {
 
 	var sys *experiments.System
 	if *scenarioFlag != "" {
-		scn, err := scenario.Load(*scenarioFlag)
+		res, err := cli.ResolveScenario(*scenarioFlag, "deploy", cli.ScenarioOptions{}, os.Stderr)
 		if err != nil {
 			return err
-		}
-		res, err := scenario.Compile(scn)
-		if err != nil {
-			return err
-		}
-		for _, w := range res.Warnings {
-			fmt.Fprintf(os.Stderr, "deploy: %s: %s\n", scn.Name, w)
 		}
 		sys = res.System
 	} else {

@@ -17,7 +17,6 @@ import (
 
 	"wideplace/internal/cli"
 	"wideplace/internal/core"
-	"wideplace/internal/scenario"
 	"wideplace/internal/topology"
 	"wideplace/internal/workload"
 )
@@ -60,20 +59,16 @@ func run(args []string, stdout io.Writer) error {
 	)
 	kindLabel := *workloadFlag
 	if *scenarioFlag != "" {
-		scn, err := scenario.Load(*scenarioFlag)
-		if err != nil {
-			return err
-		}
-		res, err := scenario.Compile(scn)
+		res, err := cli.ResolveScenario(*scenarioFlag, "mcperf", cli.ScenarioOptions{}, os.Stderr)
 		if err != nil {
 			return err
 		}
 		topo, trace = res.System.Topo, res.System.Trace
 		// The scenario's own threshold and interval define the instance;
 		// the goal level still comes from -tqos/-avg.
-		*tlat = scn.Tlat()
-		*delta = scn.Delta()
-		kindLabel = scn.Workload.Model
+		*tlat = res.Spec.Tlat()
+		*delta = res.Spec.Delta()
+		kindLabel = res.Spec.Workload.Model
 	} else {
 		if topo, err = topology.Generate(topology.GenOptions{N: *nodes, Seed: *seed}); err != nil {
 			return err

@@ -84,6 +84,7 @@ func run() error {
 		return err
 	}
 	type laddered struct {
+		ref      string // name-or-file reference for per-rung re-resolution
 		spec     scenario.Spec
 		maxSites int // 0 = no cap
 	}
@@ -102,7 +103,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		specs = append(specs, laddered{spec: spec, maxSites: maxSites})
+		specs = append(specs, laddered{ref: ref, spec: spec, maxSites: maxSites})
 	}
 	if len(specs) == 0 {
 		return fmt.Errorf("no scenarios selected")
@@ -135,14 +136,10 @@ func run() error {
 			if lad.maxSites > 0 && n > lad.maxSites {
 				continue
 			}
-			spec := base.WithNodes(n)
 			start := time.Now()
-			res, err := scenario.Compile(spec)
+			res, err := cli.ResolveScenario(lad.ref, "stress", cli.ScenarioOptions{Nodes: n}, os.Stderr)
 			if err != nil {
 				return fmt.Errorf("%s at %d nodes: %w", base.Name, n, err)
-			}
-			for _, w := range res.Warnings {
-				fmt.Fprintf(os.Stderr, "stress: %s n=%d: %s\n", base.Name, n, w)
 			}
 			title := fmt.Sprintf("stress %s at %d nodes: lower bounds per heuristic class", base.Name, n)
 			fig, err := experiments.Sweep(res.System, res.Classes, title, opts, progress)
@@ -332,7 +329,9 @@ func lagrangianXCheck(sys *experiments.System, fig *experiments.Figure, lpOpts l
 
 // compareRecords diffs the per-size solver counters between the last two
 // records of the BENCH_scale.json history, matching scenarios by name and
-// rungs by node count.
+// rungs by node count. A rung whose deterministic iteration count grew by
+// more than 10% is a regression: after the full diff prints, the
+// regressions come back as an error so CI exits non-zero.
 func compareRecords(path string, w io.Writer) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -348,6 +347,7 @@ func compareRecords(path string, w io.Writer) error {
 	prev, last := history[len(history)-2], history[len(history)-1]
 	fmt.Fprintf(w, "comparing records %d (%s) -> %d (%s) of %s\n",
 		len(history)-1, prev.GoVersion, len(history), last.GoVersion, path)
+	var regressions []string
 	for _, sc := range last.Scenarios {
 		var base *scaleScenario
 		for i := range prev.Scenarios {
@@ -389,7 +389,16 @@ func compareRecords(path string, w io.Writer) error {
 			cmp("degenerate-steps", "%.0f", float64(old.Solver.DegenerateSteps), float64(sz.Solver.DegenerateSteps))
 			cmp("bound-flips", "%.0f", float64(old.Solver.BoundFlips), float64(sz.Solver.BoundFlips))
 			cmp("pricing-scans", "%.0f", float64(old.Solver.PricingScans), float64(sz.Solver.PricingScans))
+			if old.Solver.Iterations > 0 && float64(sz.Solver.Iterations) > 1.1*float64(old.Solver.Iterations) {
+				regressions = append(regressions, fmt.Sprintf("%s n=%d: iterations %d -> %d (+%.0f%%)",
+					sc.Name, sz.Nodes, old.Solver.Iterations, sz.Solver.Iterations,
+					100*(float64(sz.Solver.Iterations)/float64(old.Solver.Iterations)-1)))
+			}
 		}
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("%d iteration regression(s) beyond 10%%:\n  %s",
+			len(regressions), strings.Join(regressions, "\n  "))
 	}
 	return nil
 }

@@ -16,7 +16,49 @@ import (
 
 	"wideplace/internal/experiments"
 	"wideplace/internal/lp"
+	"wideplace/internal/scenario"
 )
+
+// ScenarioOptions adjusts a loaded scenario spec before compilation.
+type ScenarioOptions struct {
+	// QoS overrides the spec's QoS goal points (nil keeps the spec's).
+	QoS []float64
+	// Nodes rescales the spec to this node count with Spec.WithNodes
+	// (0 keeps the spec's size).
+	Nodes int
+}
+
+// ResolveScenario loads a scenario by reference (builtin name or spec
+// file), applies the overrides and compiles it. Every binary resolves
+// scenarios through here so the behavior — and the warning wording,
+// "<tool>: scenario <name>: <warning>" — stays identical across tools.
+// Warnings go to warnw; pass nil to discard them.
+func ResolveScenario(ref, tool string, opts ScenarioOptions, warnw io.Writer) (*scenario.Result, error) {
+	scn, err := scenario.Load(ref)
+	if err != nil {
+		return nil, err
+	}
+	if opts.QoS != nil {
+		scn.QoS = opts.QoS
+	}
+	if opts.Nodes > 0 {
+		scn = scn.WithNodes(opts.Nodes)
+	}
+	res, err := scenario.Compile(scn)
+	if err != nil {
+		return nil, err
+	}
+	if warnw != nil {
+		name := res.Spec.Name
+		if opts.Nodes > 0 {
+			name = fmt.Sprintf("%s@%d", name, opts.Nodes)
+		}
+		for _, w := range res.Warnings {
+			fmt.Fprintf(warnw, "%s: scenario %s: %s\n", tool, name, w)
+		}
+	}
+	return res, nil
+}
 
 // SignalContext returns a context that is canceled on SIGINT or SIGTERM.
 // The first signal cancels the context so in-flight work can drain (long

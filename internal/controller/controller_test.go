@@ -1,0 +1,235 @@
+package controller
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"wideplace/internal/core"
+	"wideplace/internal/experiments"
+	"wideplace/internal/heuristics"
+	"wideplace/internal/lp"
+	"wideplace/internal/scenario"
+	"wideplace/internal/sim"
+	"wideplace/internal/topology"
+	"wideplace/internal/workload"
+)
+
+// diurnalSystem compiles the diurnal-shift builtin scenario — the drift
+// workload the controller acceptance criteria are stated against.
+func diurnalSystem(t *testing.T) *experiments.System {
+	t.Helper()
+	spec, err := scenario.Load("diurnal-shift")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := scenario.Compile(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.System
+}
+
+// smallSystem builds a compact flash-crowd system for the cheaper tests.
+func smallSystem(t *testing.T) (*topology.Topology, *workload.Trace, *workload.Counts) {
+	t.Helper()
+	topo, err := topology.Generate(topology.GenOptions{N: 8, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := workload.GenerateFlashCrowd(workload.FlashCrowdOptions{
+		Nodes: 8, Objects: 8, Requests: 4000, Duration: 6 * time.Hour, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := tr.Bucket(time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo, tr, c
+}
+
+// The incremental warm chain must be an optimization, never an
+// approximation: on every interval of the diurnal-shift scenario the
+// warm re-solved bound has to equal the cold full-rebuild bound to LP
+// tolerance, with the warm start actually engaged past the first step.
+func TestReplayMatchesColdReplayOnDiurnalShift(t *testing.T) {
+	sys := diurnalSystem(t)
+	cfg := Config{Topo: sys.Topo, Cost: core.DefaultCost(), Goal: core.QoS(0.95, sys.Spec.Tlat)}
+	warm, err := Replay(cfg, sys.Counts, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := ColdReplay(cfg, sys.Counts, true, warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warm.Steps) != sys.Counts.Intervals || len(cold.Steps) != len(warm.Steps) {
+		t.Fatalf("step counts: warm %d, cold %d, want %d", len(warm.Steps), len(cold.Steps), sys.Counts.Intervals)
+	}
+	for i, ws := range warm.Steps {
+		cs := cold.Steps[i]
+		tol := 1e-9 * math.Max(1, math.Abs(cs.Bound))
+		if diff := math.Abs(ws.Bound - cs.Bound); diff > tol {
+			t.Errorf("interval %d: warm bound %.12f vs cold %.12f (diff %g)", i, ws.Bound, cs.Bound, diff)
+		}
+		if i > 0 && !ws.Warm {
+			t.Errorf("interval %d: warm chain fell back to a cold start", i)
+		}
+		if cs.Warm {
+			t.Errorf("interval %d: cold baseline reports a warm solve", i)
+		}
+	}
+	if warm.TotalIterations >= cold.TotalIterations {
+		t.Errorf("warm chain took %d iterations, cold baseline %d: no incremental win",
+			warm.TotalIterations, cold.TotalIterations)
+	}
+}
+
+// Applying every step's diffs in order must reconstruct every interval's
+// placement exactly — the consumer-side contract of the diff stream.
+func TestDiffStreamReconstructsPlacements(t *testing.T) {
+	topo, _, counts := smallSystem(t)
+	cfg := Config{Topo: topo, Cost: core.DefaultCost(), Goal: core.QoS(0.9, 80)}
+	tr, err := Replay(cfg, counts, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var place [][]bool
+	for i, st := range tr.Steps {
+		place = ApplyDiffs(place, st.Diffs, topo.N, counts.Objects)
+		for n := range place {
+			for k := range place[n] {
+				if n == topo.Origin {
+					continue
+				}
+				if place[n][k] != st.Placement[n][k] {
+					t.Fatalf("interval %d: diff replay disagrees at node %d object %d", i, n, k)
+				}
+			}
+		}
+		if adds, drops := 0, 0; true {
+			for _, d := range st.Diffs {
+				adds += len(d.Adds)
+				drops += len(d.Drops)
+			}
+			if adds != st.Adds || drops != st.Drops {
+				t.Fatalf("interval %d: churn totals %d/%d do not match diffs %d/%d",
+					i, st.Adds, st.Drops, adds, drops)
+			}
+		}
+	}
+}
+
+// Reactive replay plans interval i from interval i-1's demand, so the
+// recorded staleness is the realized planning error: total at the cold
+// start (planned nothing, realized everything) and zero everywhere under
+// the clairvoyant lookahead replay.
+func TestReplayStalenessAccounting(t *testing.T) {
+	topo, _, counts := smallSystem(t)
+	cfg := Config{Topo: topo, Cost: core.DefaultCost(), Goal: core.QoS(0.9, 80)}
+	reactive, err := Replay(cfg, counts, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := reactive.Steps[0].Staleness; s != 1.0 {
+		t.Errorf("cold-start staleness = %g, want 1.0 (planned from zero demand)", s)
+	}
+	moved := 0.0
+	for _, st := range reactive.Steps[1:] {
+		moved += st.Staleness
+	}
+	if moved == 0 {
+		t.Error("drifting workload realized zero staleness across all reactive intervals")
+	}
+	lookahead, err := Replay(cfg, counts, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, st := range lookahead.Steps {
+		if st.Staleness != 0 {
+			t.Errorf("interval %d: clairvoyant staleness = %g, want 0", i, st.Staleness)
+		}
+	}
+}
+
+// The trajectory evaluation harness: the controller's reactive plan is
+// replayed through the simulator next to the paper's reactive heuristic
+// class (LRU/LFU caching) on the same trace, yielding aligned
+// per-interval QoS attainment and churn series.
+func TestTrajectoryScoresAgainstReactiveHeuristics(t *testing.T) {
+	topo, trace, counts := smallSystem(t)
+	cfg := Config{Topo: topo, Cost: core.DefaultCost(), Goal: core.QoS(0.9, 80)}
+	tr, err := Replay(cfg, counts, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simCfg := sim.Config{
+		Topo: topo, Trace: trace, Interval: counts.Delta,
+		Tlat: 80, Alpha: 1, Beta: 1,
+	}
+	metrics, err := sim.RunAll(simCfg,
+		heuristics.NewStatic(tr.Plan, counts.Delta),
+		heuristics.NewLRU(4),
+		heuristics.NewLFU(4),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(metrics) != 3 {
+		t.Fatalf("RunAll returned %d metric sets, want 3", len(metrics))
+	}
+	for _, m := range metrics {
+		if len(m.PerInterval) == 0 || len(m.PerInterval) > counts.Intervals {
+			t.Fatalf("%s: %d per-interval rows for %d intervals", m.Heuristic, len(m.PerInterval), counts.Intervals)
+		}
+		served := 0
+		for _, im := range m.PerInterval {
+			if im.QoS < 0 || im.QoS > 1 {
+				t.Fatalf("%s interval %d: QoS %g out of range", m.Heuristic, im.Interval, im.QoS)
+			}
+			served += im.Served
+		}
+		if served != m.Served {
+			t.Fatalf("%s: per-interval served %d does not sum to total %d", m.Heuristic, served, m.Served)
+		}
+	}
+	// The controller's plan is placed ahead of the demand it planned for;
+	// its churn is bounded by the plan's own adds.
+	planned := metrics[0]
+	totalAdds := 0
+	for _, st := range tr.Steps {
+		totalAdds += st.Adds
+	}
+	if planned.Creations > totalAdds {
+		t.Errorf("static replay created %d replicas, plan only adds %d", planned.Creations, totalAdds)
+	}
+}
+
+// A Start basis in the config would fight the controller's own warm
+// chain; New must reject it.
+func TestNewRejectsCallerStartBasis(t *testing.T) {
+	topo, _, counts := smallSystem(t)
+	cfg := Config{Topo: topo, Objects: counts.Objects, Delta: counts.Delta,
+		Cost: core.DefaultCost(), Goal: core.QoS(0.9, 80)}
+	bad := cfg
+	bad.LP.Start = new(lp.Basis)
+	if _, err := New(bad); err == nil {
+		t.Fatal("New accepted a caller-provided Start basis")
+	}
+	ctl, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reads, err := counts.IntervalReads(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctl.Step(reads); err != nil {
+		t.Fatal(err)
+	}
+	if ctl.Interval() != 1 {
+		t.Fatalf("Interval() = %d after one step", ctl.Interval())
+	}
+}

@@ -46,6 +46,10 @@ type Bound struct {
 	// StoreFrac is the fractional LP placement (consumed by callers that
 	// post-process placements, e.g. the deployment methodology).
 	StoreFrac [][][]float64
+	// Store is the integral placement produced by the rounding pass (nil
+	// when SkipRounding): Store[n][i][k] says node n holds object k during
+	// interval i. The placement controller diffs consecutive Stores.
+	Store [][][]bool
 	// Open holds the fractional open variables per node when the instance
 	// carries a node-opening cost (nil otherwise).
 	Open []float64
@@ -152,6 +156,7 @@ func (in *Instance) finishQoSBound(class *Class, b *buildResult, sol *lp.Solutio
 		}
 		out.FeasibleCost = rr.Cost
 		out.UpSteps, out.DownSteps = rr.UpSteps, rr.DownSteps
+		out.Store = rr.Store
 	}
 	return out, nil
 }

@@ -1,7 +1,5 @@
 package lp
 
-import "fmt"
-
 // DenseFactor factorizes the basis as a dense LU with partial pivoting and
 // applies product-form eta updates between refactorizations. It is intended
 // for bases up to a few thousand rows.
@@ -67,7 +65,7 @@ func (d *DenseFactor) Factor(a *CSC, basis []int) error {
 			}
 		}
 		if best < 0 {
-			return fmt.Errorf("%w: singular basis at column %d", ErrNumerical, c)
+			return &singularBasisError{pos: c, row: repairRow(a, basis, nil, d.perm, c)}
 		}
 		if best != c {
 			// Swap rows best and c.

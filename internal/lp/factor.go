@@ -1,5 +1,7 @@
 package lp
 
+import "fmt"
+
 // Factorizer abstracts a factorization of the simplex basis matrix B. The
 // simplex core uses it through FTRAN (solve B*x = b) and BTRAN (solve
 // B^T*y = c), plus an incremental Update when one basis column is replaced.
@@ -27,6 +29,44 @@ type Factorizer interface {
 	// before the next solve.
 	Update(w []float64, pos int) (refactor bool, err error)
 }
+
+// repairingFactorizer is the optional fast path for warm starts whose
+// carried basis factorizes singular: one factorization pass that patches
+// every column-versus-slack dependency as elimination reaches it, instead
+// of failing so the caller can swap and retry. basis is mutated in place
+// and each swap is reported so the caller can rebook the displaced column
+// at a bound. Backends without it fall back to the retry loop, which pays
+// a partial refactorization per repair.
+type repairingFactorizer interface {
+	FactorRepair(a *CSC, basis []int) ([]basisSwap, error)
+}
+
+// basisSwap records one in-factorization repair: the column old left basis
+// position pos and a slack took its place (readable from basis[pos] after
+// the call).
+type basisSwap struct {
+	pos int
+	old int
+}
+
+// singularBasisError is how a Factor call reports a linearly dependent
+// basis with enough detail to repair it: the basic column at position pos
+// could not be pivoted, and row is a constraint row no basic column had
+// pivoted when the elimination stalled. Swapping the slack of row into
+// position pos removes one dependency; the warm-start path retries the
+// factorization after each such patch instead of discarding the basis for
+// a cold crash start. It unwraps to ErrNumerical so existing callers that
+// only classify the failure keep working.
+type singularBasisError struct {
+	pos int
+	row int
+}
+
+func (e *singularBasisError) Error() string {
+	return fmt.Sprintf("%v: singular basis: column at position %d is dependent (row %d unpivoted)", ErrNumerical, e.pos, e.row)
+}
+
+func (e *singularBasisError) Unwrap() error { return ErrNumerical }
 
 // FactorBackend selects the basis factorization backend by value, so a
 // single Options struct can be shared across concurrent solves (unlike

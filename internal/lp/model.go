@@ -222,6 +222,77 @@ func (p *Problem) RowBounds(i int) (lo, hi float64) {
 	return p.lo[p.numStruct+i], p.hi[p.numStruct+i]
 }
 
+// SetCoef overwrites the matrix entry of constraint row i and structural
+// column j in place. The entry must already exist in the compiled sparsity
+// pattern: Compile drops exact zeros, so a model that wants an entry to be
+// rebindable later must compile it with any nonzero placeholder value.
+// Writing an exact zero afterwards is allowed — the entry keeps its slot
+// (so it can be rewritten again) and both the simplex and the presolve
+// layer treat zero-valued entries as absent. Like SetRowBounds, this must
+// not race with a Solve of the same Problem.
+func (p *Problem) SetCoef(i, j int, v float64) error {
+	if i < 0 || i >= p.numRows {
+		return fmt.Errorf("lp: SetCoef row %d out of range [0, %d)", i, p.numRows)
+	}
+	if j < 0 || j >= p.numStruct {
+		return fmt.Errorf("lp: SetCoef column %d out of range [0, %d)", j, p.numStruct)
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return fmt.Errorf("lp: SetCoef (%d, %d): value %g is not finite", i, j, v)
+	}
+	ri, rv := p.cols.Col(j)
+	// Columns are sorted by row index (TripletBuilder.ToCSC), so the slot
+	// is found by binary search.
+	lo, hi := 0, len(ri)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ri[mid] < i {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(ri) || ri[lo] != i {
+		return fmt.Errorf("lp: SetCoef (%d, %d): entry not in the compiled sparsity pattern", i, j)
+	}
+	rv[lo] = v
+	return nil
+}
+
+// Coef returns the current matrix entry of row i and structural column j,
+// with ok reporting whether the entry is part of the compiled pattern.
+func (p *Problem) Coef(i, j int) (v float64, ok bool) {
+	if i < 0 || i >= p.numRows || j < 0 || j >= p.numStruct {
+		return 0, false
+	}
+	ri, rv := p.cols.Col(j)
+	for k, r := range ri {
+		if r == i {
+			return rv[k], true
+		}
+		if r > i {
+			break
+		}
+	}
+	return 0, false
+}
+
+// SetObjCoef overwrites the objective coefficient of structural column j,
+// stated in the model's original optimization sense.
+func (p *Problem) SetObjCoef(j int, v float64) error {
+	if j < 0 || j >= p.numStruct {
+		return fmt.Errorf("lp: SetObjCoef column %d out of range [0, %d)", j, p.numStruct)
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return fmt.Errorf("lp: SetObjCoef column %d: value %g is not finite", j, v)
+	}
+	if p.sense == Maximize {
+		v = -v
+	}
+	p.obj[j] = v
+	return nil
+}
+
 // Solution holds the result of a successful solve.
 type Solution struct {
 	// Objective is the optimal objective in the user's original sense.

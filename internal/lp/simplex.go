@@ -136,7 +136,18 @@ type simplex struct {
 	xB     []float64 // values of basic columns (mirror of x at basis positions)
 
 	cB   []float64 // basic cost vector for the current phase
-	y    []float64 // duals scratch
+	// comp weights the true objective into the phase-1 cost vector
+	// (cB[i] = band + comp*obj): feasibility restoration then prefers, among
+	// equally infeasibility-reducing pivots, the ones that do not degrade
+	// the real objective. Zero for cold starts (pure phase 1); set for warm
+	// starts, where the seed basis is near-optimal and a cost-blind phase 1
+	// would wander away from it only for phase 2 to walk all the way back.
+	comp float64
+	// p1band mirrors the infeasibility band (-1/0/+1) of each basic column
+	// while phase 1 runs; with comp folded into cB the bands need their own
+	// store for the flip detection to compare against.
+	p1band []float64
+	y      []float64 // duals scratch
 	w    []float64 // FTRAN image of the entering column
 	rhs0 []float64 // scratch for -N*xN
 
@@ -203,6 +214,7 @@ func newSimplex(p *Problem, opts Options) *simplex {
 		x:      make([]float64, n),
 		xB:     make([]float64, m),
 		cB:     make([]float64, m),
+		p1band: make([]float64, m),
 		y:      make([]float64, m),
 		w:      make([]float64, m),
 		rhs0:   make([]float64, m),
@@ -240,12 +252,45 @@ func (s *simplex) solve() (*Solution, error) {
 		return s.solveUnconstrained()
 	}
 	// Seed from the caller's basis when one is given and usable; a
-	// snapshot that fails validation or factorizes singular falls back to
-	// the all-slack crash basis (structural variables at a bound).
+	// snapshot that fails validation falls back to the all-slack crash
+	// basis (structural variables at a bound). A snapshot that installs
+	// but factorizes singular — the usual fate of a basis carried across
+	// a coefficient change, where two basic columns that were independent
+	// under the old values have become parallel — is repaired rather than
+	// discarded: the factorization reports the dependent position and an
+	// unpivoted row, and swapping that row's slack into the position
+	// removes one dependency per retry.
 	if b := s.opts.Start; b.compatibleWith(s.p) {
 		s.installBasis(b)
-		if s.fac.Factor(s.p.cols, s.basis) == nil {
-			s.warm = true
+		if rf, ok := s.fac.(repairingFactorizer); ok {
+			// Single-pass repair: the factorization swaps a nonbasic slack
+			// into each dependent position as it goes and reports the
+			// swaps; the displaced columns rest at their crash bounds.
+			swaps, err := rf.FactorRepair(s.p.cols, s.basis)
+			for _, sw := range swaps {
+				s.status[sw.old] = s.startStatus(sw.old)
+				s.x[sw.old] = s.startValue(sw.old)
+				s.status[s.basis[sw.pos]] = basic
+				s.stats.BasisRepairs++
+			}
+			s.warm = err == nil
+		} else {
+			// Each repair consumes one distinct nonbasic slack, so m retries
+			// bound the loop; repairBasis itself reports exhaustion earlier.
+			// Factorization fails at the first dependent column in its
+			// elimination order, so failed attempts stay cheap.
+			for try := 0; ; try++ {
+				err := s.fac.Factor(s.p.cols, s.basis)
+				if err == nil {
+					s.warm = true
+					break
+				}
+				var sing *singularBasisError
+				if try >= s.m || !errors.As(err, &sing) || !s.repairBasis(sing) {
+					break
+				}
+				s.stats.BasisRepairs++
+			}
 		}
 	}
 	if !s.warm {
@@ -256,17 +301,46 @@ func (s *simplex) solve() (*Solution, error) {
 	}
 	s.stats.InitialFactorizations++
 	s.recomputeXB()
+	// A warm seed first tries the dual-simplex fast path: restore dual
+	// feasibility with bound flips, then pivot the drifted basics feasible
+	// while keeping the basis dual feasible. When it converges the phases
+	// below reduce to a certifying pricing sweep; when it bails the primal
+	// phases continue from its (still consistent) state.
+	if s.warm {
+		if err := s.dualReoptimize(); err != nil {
+			return nil, err
+		}
+	}
 
-	// Phase 1: drive infeasibility to zero.
+	// Phase 1: drive infeasibility to zero. A warm seed is near-optimal,
+	// so its phase 1 runs with a composite cost — the infeasibility bands
+	// plus a small multiple of the true objective — that restores
+	// feasibility without walking away from the seed; a cost-blind phase 1
+	// would drift to an arbitrary feasible basis and leave phase 2 to walk
+	// all the way back. If the composite stalls short of feasibility (the
+	// cost term can block the last band-reducing pivots), a pure phase 1
+	// finishes the job before infeasibility is declared.
 	if s.infeasibility() > s.opts.Tol {
+		if s.warm {
+			s.comp = compositeWeight(s.p.obj)
+		}
 		if err := s.loop(true); err != nil {
 			return nil, err
+		}
+		if s.comp != 0 {
+			s.comp = 0
+			if s.infeasibility() > s.opts.Tol {
+				s.dDirty = true
+				if err := s.loop(true); err != nil {
+					return nil, err
+				}
+			}
 		}
 		if s.infeasibility() > s.opts.Tol*math.Max(1, s.scale()) {
 			return nil, ErrInfeasible
 		}
 	}
-	s.stats.Phase1Iterations = s.iter
+	s.stats.Phase1Iterations = s.iter - s.stats.DualIterations
 	// Phase 2: optimize the true objective.
 	if err := s.loop(false); err != nil {
 		return nil, err
@@ -413,19 +487,38 @@ func (s *simplex) scale() float64 {
 	return mx
 }
 
-// phase1Costs fills cB with the gradient of the infeasibility sum.
+// compositeWeight sizes the objective's share of a composite phase-1 cost:
+// small enough that a unit of infeasibility (band magnitude 1) dominates
+// the largest cost coefficient by two orders of magnitude, so feasibility
+// progress is never traded away for cost improvement.
+func compositeWeight(obj []float64) float64 {
+	mx := 0.0
+	for _, c := range obj {
+		if a := abs(c); a > mx {
+			mx = a
+		}
+	}
+	if mx == 0 {
+		return 0
+	}
+	return 0.02 / mx
+}
+
+// phase1Costs fills cB with the gradient of the infeasibility sum, plus
+// comp times the true objective when a composite phase 1 is active.
 func (s *simplex) phase1Costs() {
 	tol := s.opts.Tol
 	for i, q := range s.basis {
 		v := s.xB[i]
+		band := 0.0
 		switch {
 		case v < s.p.lo[q]-tol:
-			s.cB[i] = -1
+			band = -1
 		case v > s.p.hi[q]+tol:
-			s.cB[i] = 1
-		default:
-			s.cB[i] = 0
+			band = 1
 		}
+		s.p1band[i] = band
+		s.cB[i] = band + s.comp*s.p.obj[q]
 	}
 }
 
@@ -437,8 +530,10 @@ func (s *simplex) phase2Costs() {
 
 // reducedCost computes d_j = c_j - y . A_j for column j given duals in s.y.
 func (s *simplex) reducedCost(j int, phase1 bool) float64 {
-	c := 0.0
-	if !phase1 {
+	var c float64
+	if phase1 {
+		c = s.comp * s.p.obj[j]
+	} else {
 		c = s.p.obj[j]
 	}
 	ri, rv := s.p.cols.Col(j)
@@ -654,6 +749,15 @@ func (s *simplex) loop(phase1 bool) error {
 		ev, ok := s.ratioTest(q, dir, phase1)
 		if !ok {
 			if phase1 {
+				if s.comp != 0 {
+					// The composite cost term admits purely cost-driven
+					// rays (e.g. an unbounded slack whose band effect is
+					// zero); a pure phase 1 cannot. Drop the term and
+					// continue restoring feasibility.
+					s.comp = 0
+					s.dDirty = true
+					continue
+				}
 				return fmt.Errorf("%w: unbounded phase-1 direction", ErrNumerical)
 			}
 			return ErrUnbounded
@@ -697,10 +801,11 @@ func (s *simplex) loop(phase1 bool) error {
 					case v > s.p.hi[qi]+tol:
 						band = 1
 					}
-					if band != s.cB[i] {
+					if band != s.p1band[i] {
 						s.flipPos = append(s.flipPos, int32(i))
-						s.flipDelta = append(s.flipDelta, band-s.cB[i])
-						s.cB[i] = band
+						s.flipDelta = append(s.flipDelta, band-s.p1band[i])
+						s.cB[i] += band - s.p1band[i]
+						s.p1band[i] = band
 					}
 				}
 			}
@@ -744,7 +849,11 @@ func (s *simplex) loop(phase1 bool) error {
 		// folded in through the dual correction like any other flip.
 		var leaveShift float64
 		if trackFlips {
-			leaveShift = -s.cB[ev.pos]
+			// Only the band part shifts d[leave] directly: the comp*obj
+			// parts of the old and new pivot-position costs flow through
+			// the standard reduced-cost update (they are ordinary column
+			// costs, present in d_q), exactly as in phase 2.
+			leaveShift = -s.p1band[ev.pos]
 			v := s.xB[ev.pos]
 			band := 0.0
 			switch {
@@ -757,7 +866,8 @@ func (s *simplex) loop(phase1 bool) error {
 				s.flipPos = append(s.flipPos, int32(ev.pos))
 				s.flipDelta = append(s.flipDelta, band)
 			}
-			s.cB[ev.pos] = band
+			s.p1band[ev.pos] = band
+			s.cB[ev.pos] = band + s.comp*s.p.obj[q]
 		}
 
 		if s.devex {

@@ -46,19 +46,37 @@ func NewSparseFactor(maxEtas int) *SparseFactor {
 
 // Factor implements Factorizer.
 func (s *SparseFactor) Factor(a *CSC, basis []int) error {
-	lu, err := luFactor(a, basis, s.pivTol)
+	lu, _, err := luFactor(a, basis, s.pivTol, false)
 	if err != nil {
 		return err
 	}
+	s.install(lu, len(basis))
+	return nil
+}
+
+// FactorRepair implements repairingFactorizer: one factorization pass that
+// swaps a nonbasic slack into each dependent basis position as elimination
+// reaches it, instead of failing so the caller can retry. basis is patched
+// in place and the swaps are reported so the caller can rebook the
+// displaced columns.
+func (s *SparseFactor) FactorRepair(a *CSC, basis []int) ([]basisSwap, error) {
+	lu, swaps, err := luFactor(a, basis, s.pivTol, true)
+	if err != nil {
+		return swaps, err
+	}
+	s.install(lu, len(basis))
+	return swaps, nil
+}
+
+func (s *SparseFactor) install(lu *sparseLU, m int) {
 	s.lu = lu
-	s.m = len(basis)
+	s.m = m
 	if cap(s.tmp) < s.m {
 		s.tmp = make([]float64, s.m)
 		s.btmp = make([]float64, s.m)
 	}
 	s.u.init(lu)
 	s.lastOK = false
-	return nil
 }
 
 // Ftran implements Factorizer: x = B^-1 b in place. The solve runs in

@@ -1,7 +1,5 @@
 package lp
 
-import "fmt"
-
 // sparseLU holds an LU factorization of a square sparse matrix computed with
 // the left-looking Gilbert-Peierls algorithm and partial pivoting:
 // P*B[:,q] = L*U with unit lower-triangular L (diagonal stored first in each
@@ -32,7 +30,17 @@ type sparseLU struct {
 // luFactor factorizes the m x m matrix whose k-th column is column cols[k]
 // of a. Columns are preordered by increasing nonzero count (approximate
 // minimum fill for our near-0/1 systems).
-func luFactor(a *CSC, cols []int, pivTol float64) (*sparseLU, error) {
+//
+// With repair set, a column that cannot pivot (linearly dependent on the
+// columns already factored) is replaced in place — in cols and in the
+// factors — by the slack of an unpivoted row whose slack is not basic, and
+// elimination continues. The replacement is exact, not approximate: the
+// slack is a unit vector on a row no factored column pivoted, so the
+// partial elimination passes it through unchanged and it pivots immediately
+// with value 1. Each swap is reported so the caller can move the displaced
+// column to a bound; one factorization pass absorbs any number of repairs,
+// where the retry-per-repair scheme pays a partial refactorization each.
+func luFactor(a *CSC, cols []int, pivTol float64, repair bool) (*sparseLU, []basisSwap, error) {
 	m := len(cols)
 	f := &sparseLU{
 		m:     m,
@@ -71,12 +79,29 @@ func luFactor(a *CSC, cols []int, pivTol float64) (*sparseLU, error) {
 	f.ui = make([]int, 0, nnzGuess)
 	f.ux = make([]float64, 0, nnzGuess)
 
+	// Static row weights for the sparsity tie-break below: how many basis
+	// columns touch each row. Rows shared by many columns breed fill when
+	// chosen as pivots, so among numerically acceptable candidates the
+	// pivot search prefers the lightest row.
+	rweight := make([]int32, m)
+	for _, j := range cols {
+		ri, _ := a.Col(j)
+		for _, i := range ri {
+			rweight[i]++
+		}
+	}
+
+	var swaps []basisSwap
 	for k := 0; k < m; k++ {
 		f.lp[k] = len(f.lx)
 		f.up[k] = len(f.ux)
 		j := cols[f.q[k]]
 		top := f.spSolve(a, j, k)
-		// Pivot search: largest magnitude among non-pivotal rows.
+		// Pivot search: threshold partial pivoting. Any non-pivotal row
+		// within luPivThreshold of the largest magnitude is numerically
+		// acceptable; among those the sparsest row (fewest basis columns
+		// touching it) wins, which keeps L and U far sparser than pure
+		// magnitude pivoting at a bounded element-growth cost.
 		ipiv, amax := -1, 0.0
 		for p := top; p < m; p++ {
 			i := f.xi[p]
@@ -89,8 +114,42 @@ func luFactor(a *CSC, cols []int, pivTol float64) (*sparseLU, error) {
 				f.ux = append(f.ux, f.x[i])
 			}
 		}
+		if ipiv >= 0 {
+			accept := luPivThreshold * amax
+			best := rweight[ipiv]
+			for p := top; p < m; p++ {
+				i := f.xi[p]
+				if f.pinv[i] < 0 && rweight[i] < best && abs(f.x[i]) >= accept {
+					best, ipiv = rweight[i], i
+				}
+			}
+		}
 		if ipiv < 0 || amax <= pivTol {
-			return nil, fmt.Errorf("%w: singular matrix at column %d", ErrNumerical, k)
+			r := repairRow(a, cols, f.pinv, nil, 0)
+			if !repair || r < 0 {
+				return nil, swaps, &singularBasisError{pos: f.q[k], row: r}
+			}
+			// Swap the slack of unpivoted row r into this basis position:
+			// drop the failed column's U entries and scratch values, then
+			// emit the slack column. After the partial elimination it is
+			// still its single original entry (-1 at row r, an unpivoted
+			// row), so it pivots there directly.
+			pos := f.q[k]
+			swaps = append(swaps, basisSwap{pos: pos, old: cols[pos]})
+			slack := a.Cols - m + r
+			cols[pos] = slack
+			f.ui = f.ui[:f.up[k]]
+			f.ux = f.ux[:f.up[k]]
+			for p := top; p < m; p++ {
+				f.x[f.xi[p]] = 0
+			}
+			_, sv := a.Col(slack)
+			f.ui = append(f.ui, k)
+			f.ux = append(f.ux, sv[0])
+			f.pinv[r] = k
+			f.li = append(f.li, r)
+			f.lx = append(f.lx, 1)
+			continue
 		}
 		pivot := f.x[ipiv]
 		f.ui = append(f.ui, k)
@@ -113,7 +172,7 @@ func luFactor(a *CSC, cols []int, pivTol float64) (*sparseLU, error) {
 	for p := range f.li {
 		f.li[p] = f.pinv[f.li[p]]
 	}
-	return f, nil
+	return f, swaps, nil
 }
 
 // spSolve computes x = L\B[:,j] for the partially built L, returning the
@@ -224,6 +283,39 @@ func (f *sparseLU) ltsolve(x []float64) {
 		}
 		x[j] = s
 	}
+}
+
+// repairRow picks the constraint row a singular-basis repair should patch
+// with its slack: one no column has pivoted, whose slack is not itself in
+// the basis (a basic slack may still pivot its row later in the
+// elimination, so handing it out would repair nothing). Unpivoted rows
+// come either from a pinv map (pinv[i] < 0, sparse path) or from an
+// explicit row list (dense path, rows[from:] of the permutation). Returns
+// -1 when every unpivoted row's slack is basic — then the dependency is
+// not the column-versus-slack kind and the repair gives up.
+func repairRow(a *CSC, cols []int, pinv []int, rows []int, from int) int {
+	m := len(cols)
+	nStruct := a.Cols - m
+	slackBasic := make([]bool, m)
+	for _, j := range cols {
+		if j >= nStruct {
+			slackBasic[j-nStruct] = true
+		}
+	}
+	if pinv != nil {
+		for i, p := range pinv {
+			if p < 0 && !slackBasic[i] {
+				return i
+			}
+		}
+		return -1
+	}
+	for _, i := range rows[from:] {
+		if !slackBasic[i] {
+			return i
+		}
+	}
+	return -1
 }
 
 // countingSortByKey stably sorts order by key[order-position] with keys in

@@ -60,6 +60,17 @@ type Stats struct {
 	ColdIterations       int
 	WarmRefactorizations int
 	ColdRefactorizations int
+	// DualIterations is the share of Iterations spent in the dual-simplex
+	// warm-restart pass (dualReoptimize): pivots that restore primal
+	// feasibility of a carried basis while keeping it dual feasible,
+	// replacing the phase-1-then-phase-2 walk a primal re-solve would pay.
+	DualIterations int
+	// BasisRepairs counts warm-start bases that factorized singular and
+	// were patched in place (a dependent basic column swapped for a row
+	// slack) instead of being discarded for a cold crash start. A basis
+	// carried across a coefficient change — the continuous-controller
+	// re-solve path — is the usual source.
+	BasisRepairs int
 	// PresolveRowsRemoved and PresolveColsRemoved count the constraint
 	// rows and structural columns the presolve layer eliminated before
 	// the simplex ran (zero when presolve is off or found nothing).
@@ -97,6 +108,8 @@ func (s *Stats) Add(other Stats) {
 	s.ColdIterations += other.ColdIterations
 	s.WarmRefactorizations += other.WarmRefactorizations
 	s.ColdRefactorizations += other.ColdRefactorizations
+	s.DualIterations += other.DualIterations
+	s.BasisRepairs += other.BasisRepairs
 	s.PresolveRowsRemoved += other.PresolveRowsRemoved
 	s.PresolveColsRemoved += other.PresolveColsRemoved
 	s.RebindSolves += other.RebindSolves

@@ -40,6 +40,12 @@ const (
 	// count low on big bases.
 	sparseMaxEtas = 500
 
+	// luPivThreshold is the threshold-partial-pivoting acceptance factor of
+	// the sparse LU: any candidate row within this factor of the largest
+	// magnitude may pivot, and the sparsest acceptable row is chosen.
+	// Element growth per elimination step is bounded by 1 + 1/threshold.
+	luPivThreshold = 0.2
+
 	// sparseFillLimit caps U's fill growth between refactorizations: when
 	// update fill pushes nnz(U) beyond this multiple of the freshly
 	// factored nnz, the backend requests a refactorization even if the eta

@@ -18,6 +18,8 @@ const maxRequestBytes = 64 << 20
 //	GET    /jobs/{id}        job status
 //	GET    /jobs/{id}/result finished bounds (?format=tsv for the figure TSV)
 //	DELETE /jobs/{id}        cancel a queued or running job
+//	POST   /controller/stream replay a drift scenario through the online
+//	                         controller, one JSON line per interval
 //	GET    /metrics          Prometheus text exposition
 //	GET    /healthz          liveness probe
 func (s *Server) Handler() http.Handler {
@@ -29,6 +31,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
+	mux.HandleFunc("POST /controller/stream", s.handleControllerStream)
 	return mux
 }
 

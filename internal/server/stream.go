@@ -1,0 +1,197 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"wideplace/internal/controller"
+	"wideplace/internal/core"
+	"wideplace/internal/scenario"
+	"wideplace/internal/workload"
+)
+
+// StreamRequest is the body of POST /controller/stream: a drift scenario
+// replayed through the online placement controller, with one JSON line
+// emitted per control interval as it is solved.
+type StreamRequest struct {
+	// Scenario is the declarative system + workload spec (the same form
+	// job submissions accept).
+	Scenario *scenario.Spec `json:"scenario"`
+	// TQoS is the per-user QoS goal fraction (default 0.95).
+	TQoS float64 `json:"tqos,omitempty"`
+	// Reactive plans each interval from the previous interval's demand;
+	// the default is clairvoyant lookahead.
+	Reactive bool `json:"reactive,omitempty"`
+	// Intervals caps the replay to the first N intervals (0 = all).
+	Intervals int `json:"intervals,omitempty"`
+	// DeltaMillis re-buckets the scenario's trace at this control period
+	// (0 = the scenario's own).
+	DeltaMillis int64 `json:"deltaMillis,omitempty"`
+}
+
+// streamHeader is the first line of a controller stream.
+type streamHeader struct {
+	Scenario  string  `json:"scenario"`
+	Nodes     int     `json:"nodes"`
+	Objects   int     `json:"objects"`
+	Intervals int     `json:"intervals"`
+	DeltaMs   int64   `json:"deltaMillis"`
+	TQoS      float64 `json:"tqos"`
+	Lookahead bool    `json:"lookahead"`
+}
+
+// streamTrailer is the last line of a completed controller stream.
+type streamTrailer struct {
+	Done            bool  `json:"done"`
+	Intervals       int   `json:"intervals"`
+	TotalIterations int   `json:"totalIterations"`
+	TotalAdds       int   `json:"totalAdds"`
+	TotalDrops      int   `json:"totalDrops"`
+	WallNs          int64 `json:"wallNs"`
+}
+
+// handleControllerStream runs the online control loop over a drift
+// scenario and streams each interval's StepResult as one JSON line
+// (application/x-ndjson), flushed as soon as it is solved — a dashboard
+// watching the stream sees placement diffs appear interval by interval
+// instead of polling a job until the whole replay is done. The stream is
+// a header line, one StepResult per interval, and a trailer with totals;
+// closing the connection cancels the in-flight solve at its next
+// iteration poll.
+func (s *Server) handleControllerStream(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		w.Header().Set("Retry-After", "5")
+		writeError(w, http.StatusServiceUnavailable, ErrDraining.Error())
+		return
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	var req StreamRequest
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decode request: "+err.Error())
+		return
+	}
+	if req.Scenario == nil {
+		writeError(w, http.StatusBadRequest, "a controller stream needs a scenario")
+		return
+	}
+	if err := req.Scenario.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if req.TQoS == 0 {
+		req.TQoS = 0.95
+	}
+	if req.TQoS <= 0 || req.TQoS >= 1 {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("tqos %g outside (0, 1)", req.TQoS))
+		return
+	}
+	if req.Intervals < 0 || req.DeltaMillis < 0 {
+		writeError(w, http.StatusBadRequest, "intervals and deltaMillis must not be negative")
+		return
+	}
+	res, err := scenario.Compile(*req.Scenario)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	sys := res.System
+	counts := sys.Counts
+	if req.DeltaMillis > 0 {
+		if counts, err = sys.Trace.Bucket(time.Duration(req.DeltaMillis) * time.Millisecond); err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+	}
+	intervals := counts.Intervals
+	if req.Intervals > 0 && req.Intervals < intervals {
+		intervals = req.Intervals
+	}
+
+	cfg := controller.Config{
+		Topo:    sys.Topo,
+		Objects: counts.Objects,
+		Delta:   counts.Delta,
+		Cost:    core.DefaultCost(),
+		Goal:    core.QoS(req.TQoS, sys.Spec.Tlat),
+	}
+	cfg.LP.Ctx = r.Context()
+	cfg.LP.CheckEvery = s.cfg.CheckEvery
+	cfg.LP.Timeout = s.cfg.SolveTimeout
+	cfg.LP.Presolve = s.cfg.Presolve
+	cfg.LP.Pricing = s.cfg.Pricing
+	cfg.LP.Factor = s.cfg.Factor
+	ctl, err := controller.New(cfg)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	emit := func(v interface{}) bool {
+		if err := enc.Encode(v); err != nil {
+			return false
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+	if !emit(streamHeader{
+		Scenario: req.Scenario.Name, Nodes: sys.Topo.N, Objects: counts.Objects,
+		Intervals: intervals, DeltaMs: counts.Delta.Milliseconds(),
+		TQoS: req.TQoS, Lookahead: !req.Reactive,
+	}) {
+		return
+	}
+
+	// The loop mirrors controller.Replay, inlined so each step can be
+	// emitted (and flushed) the moment it is solved.
+	trailer := streamTrailer{}
+	planned := make([][]int, counts.Nodes)
+	for n := range planned {
+		planned[n] = make([]int, counts.Objects)
+	}
+	for i := 0; i < intervals; i++ {
+		if r.Context().Err() != nil {
+			return // client went away; the body is already committed
+		}
+		realized, err := counts.IntervalReads(i)
+		if err != nil {
+			emit(errorBody{Error: err.Error()})
+			return
+		}
+		if !req.Reactive {
+			planned = realized
+		}
+		st, err := ctl.Step(planned)
+		if err != nil {
+			emit(errorBody{Error: err.Error()})
+			return
+		}
+		if st.Staleness, err = workload.Staleness(planned, realized); err != nil {
+			emit(errorBody{Error: err.Error()})
+			return
+		}
+		s.lpStats.Record(st.Stats)
+		trailer.Intervals++
+		trailer.TotalIterations += st.Iterations
+		trailer.TotalAdds += st.Adds
+		trailer.TotalDrops += st.Drops
+		trailer.WallNs += st.WallNs
+		if !emit(st) {
+			return
+		}
+		planned = realized
+	}
+	trailer.Done = true
+	emit(trailer)
+}

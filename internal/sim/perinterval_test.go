@@ -1,0 +1,74 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"wideplace/internal/workload"
+)
+
+// scripted is a deterministic heuristic exercising both creation paths
+// the per-interval attribution distinguishes: a boundary creation (in
+// OnIntervalStart, charged to the interval being entered) and a reactive
+// mid-interval creation (in OnRead, charged to the running interval).
+type scripted struct{ env *Env }
+
+func (s *scripted) Name() string          { return "scripted" }
+func (s *scripted) Attach(env *Env) error { s.env = env; return nil }
+func (s *scripted) OnIntervalStart(interval int, at time.Duration) {
+	if interval == 1 {
+		s.env.Tracker.Create(2, 0, at)
+	}
+}
+func (s *scripted) OnRead(node, object int, at time.Duration) int {
+	if node == 1 && at > 2*time.Hour {
+		s.env.Tracker.Create(1, 0, at)
+	}
+	if s.env.Tracker.Stored(node, object) {
+		return node
+	}
+	return Origin
+}
+func (s *scripted) ProvisionedObjectHours(time.Duration) float64 { return -1 }
+
+func TestRunPerIntervalAttribution(t *testing.T) {
+	tp := line3(t)
+	tr := &workload.Trace{
+		Accesses: []workload.Access{
+			{At: 10 * time.Minute, Node: 1},               // interval 0: origin hit, 100ms
+			{At: 70 * time.Minute, Node: 2},               // interval 1: local after boundary create
+			{At: 130 * time.Minute, Node: 1},              // interval 2: local after reactive create
+			{At: 135 * time.Minute, Node: 2, Write: true}, // ignored
+			{At: 140 * time.Minute, Node: 2},              // interval 2: still stored locally
+		},
+		NumNodes: 3, NumObjects: 1, Duration: 4 * time.Hour,
+	}
+	m, err := Run(Config{Topo: tp, Trace: tr, Interval: time.Hour, Tlat: 150, Alpha: 1, Beta: 1}, &scripted{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Intervals past the last access are absent: three rows, not four.
+	if len(m.PerInterval) != 3 {
+		t.Fatalf("PerInterval has %d rows, want 3: %+v", len(m.PerInterval), m.PerInterval)
+	}
+	want := []IntervalMetrics{
+		{Interval: 0, Served: 1, WithinTlat: 1, QoS: 1, Creations: 0},
+		{Interval: 1, Served: 1, WithinTlat: 1, QoS: 1, Creations: 1},
+		{Interval: 2, Served: 2, WithinTlat: 2, QoS: 1, Creations: 1},
+	}
+	for i, w := range want {
+		if got := m.PerInterval[i]; got != w {
+			t.Errorf("interval %d: got %+v, want %+v", i, got, w)
+		}
+	}
+	served, within, creates := 0, 0, 0
+	for _, im := range m.PerInterval {
+		served += im.Served
+		within += im.WithinTlat
+		creates += im.Creations
+	}
+	if served != m.Served || within != m.WithinTlat || creates != m.Creations {
+		t.Errorf("per-interval sums %d/%d/%d do not match totals %d/%d/%d",
+			served, within, creates, m.Served, m.WithinTlat, m.Creations)
+	}
+}

@@ -148,6 +148,21 @@ type Metrics struct {
 	Creations     int
 	ObjectHours   float64
 	CacheCapacity int // echo of the tuned parameter, when applicable
+	// PerInterval breaks QoS attainment and replica churn down by
+	// evaluation interval — the trajectory view the online placement
+	// controller is scored on. Intervals past the last access are absent.
+	PerInterval []IntervalMetrics
+}
+
+// IntervalMetrics is one evaluation interval's slice of a run: how much of
+// the interval's demand met the latency threshold, and how many replicas
+// the heuristic created entering or during the interval (its churn).
+type IntervalMetrics struct {
+	Interval   int     `json:"interval"`
+	Served     int     `json:"served"`
+	WithinTlat int     `json:"withinTlat"`
+	QoS        float64 `json:"qos"`
+	Creations  int     `json:"creations"`
 }
 
 // Config drives Run.
@@ -187,15 +202,33 @@ func Run(cfg Config, h Heuristic) (*Metrics, error) {
 	totalLatency := 0.0
 
 	next := 0 // next interval index to announce
+	lastCreates := 0
+	ensureInterval := func(i int) *IntervalMetrics {
+		for len(m.PerInterval) <= i {
+			m.PerInterval = append(m.PerInterval, IntervalMetrics{Interval: len(m.PerInterval)})
+		}
+		return &m.PerInterval[i]
+	}
+	// flushCreates attributes replica creations since the last flush to
+	// interval i — boundary creations to the interval being entered,
+	// mid-interval (reactive) creations to the current one.
+	flushCreates := func(i int) {
+		if d := tracker.creates - lastCreates; d > 0 {
+			ensureInterval(i).Creations += d
+			lastCreates = tracker.creates
+		}
+	}
 	for _, a := range cfg.Trace.Accesses {
 		for next == 0 || a.At >= time.Duration(next)*interval {
 			h.OnIntervalStart(next, time.Duration(next)*interval)
+			flushCreates(next)
 			next++
 		}
 		if a.Write {
 			continue // update traffic is outside Figure 2's scope
 		}
 		src := h.OnRead(a.Node, a.Object, a.At)
+		flushCreates(next - 1)
 		var lat float64
 		if src == Origin {
 			lat = cfg.Topo.Latency[a.Node][cfg.Topo.Origin]
@@ -211,12 +244,22 @@ func Run(cfg Config, h Heuristic) (*Metrics, error) {
 		m.Served++
 		nodeServed[a.Node]++
 		totalLatency += lat
+		im := ensureInterval(next - 1)
+		im.Served++
 		if lat <= cfg.Tlat {
 			m.WithinTlat++
 			nodeWithin[a.Node]++
+			im.WithinTlat++
 		}
 	}
 	tracker.finish(cfg.Trace.Duration)
+	for i := range m.PerInterval {
+		if im := &m.PerInterval[i]; im.Served > 0 {
+			im.QoS = float64(im.WithinTlat) / float64(im.Served)
+		} else {
+			im.QoS = 1
+		}
+	}
 
 	m.Creations = tracker.creates
 	m.ObjectHours = tracker.objHours

@@ -1,0 +1,22 @@
+package sim
+
+import "fmt"
+
+// RunAll replays the same trace independently against several heuristics
+// and returns their metrics in order. Each run gets a fresh tracker, so
+// the heuristics never interact; the per-interval breakdowns are aligned
+// by construction (same trace, same interval length), which is what the
+// controller evaluation uses to put the LP-driven trajectory and the
+// reactive heuristics side by side — QoS attainment and churn interval by
+// interval.
+func RunAll(cfg Config, hs ...Heuristic) ([]*Metrics, error) {
+	out := make([]*Metrics, 0, len(hs))
+	for _, h := range hs {
+		m, err := Run(cfg, h)
+		if err != nil {
+			return nil, fmt.Errorf("sim: run %s: %w", h.Name(), err)
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}

@@ -1,0 +1,166 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// The drift scenarios must conserve request mass end to end: every request
+// the generator emits lands in exactly one bucket of the interval
+// aggregation, and the per-interval extraction re-partitions the bucketed
+// tensor without loss.
+func TestDriftModelsConserveRequestMass(t *testing.T) {
+	cases := []struct {
+		name     string
+		requests int
+		gen      func() (*Trace, error)
+	}{
+		{"flash-crowd", 5000, func() (*Trace, error) {
+			return GenerateFlashCrowd(FlashCrowdOptions{
+				Nodes: 10, Objects: 12, Requests: 5000, Duration: 12 * time.Hour, Seed: 7,
+			})
+		}},
+		{"diurnal-shift", 6000, func() (*Trace, error) {
+			return GenerateDiurnal(DiurnalOptions{
+				Nodes: 10, Objects: 12, Requests: 6000, Duration: 24 * time.Hour,
+				Seed: 7, ObjectDrift: true,
+			})
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tr, err := tc.gen()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := len(tr.Accesses); got != tc.requests {
+				t.Fatalf("generator emitted %d accesses, want %d", got, tc.requests)
+			}
+			c, err := tr.Bucket(time.Hour)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bucketed := 0
+			for n := range c.Reads {
+				for i := range c.Reads[n] {
+					for k := range c.Reads[n][i] {
+						bucketed += c.Reads[n][i][k] + c.Writes[n][i][k]
+					}
+				}
+			}
+			if bucketed != tc.requests {
+				t.Fatalf("bucketed mass %d, generator emitted %d", bucketed, tc.requests)
+			}
+			perInterval := 0
+			for i := 0; i < c.Intervals; i++ {
+				m, err := c.IntervalReads(i)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for n := range m {
+					for _, v := range m[n] {
+						perInterval += v
+					}
+				}
+			}
+			writes := 0
+			for n := range c.Writes {
+				for i := range c.Writes[n] {
+					for _, v := range c.Writes[n][i] {
+						writes += v
+					}
+				}
+			}
+			if perInterval+writes != tc.requests {
+				t.Fatalf("per-interval extraction mass %d + %d writes, want %d", perInterval, writes, tc.requests)
+			}
+		})
+	}
+}
+
+// Per-interval deltas must round-trip: apply(delta(w1, w2), w1) == w2 for
+// every consecutive interval pair of both drift models.
+func TestReadDeltaRoundTrip(t *testing.T) {
+	tr, err := GenerateFlashCrowd(FlashCrowdOptions{
+		Nodes: 8, Objects: 10, Requests: 4000, Duration: 8 * time.Hour, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := tr.Bucket(time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev, err := c.IntervalReads(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < c.Intervals; i++ {
+		next, err := c.IntervalReads(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := DiffReads(prev, next)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := d.Apply(prev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, next) {
+			t.Fatalf("interval %d: apply(delta(w1, w2), w1) != w2", i)
+		}
+		prev = next
+	}
+
+	// The empty delta is the identity, and Mass counts absolute movement.
+	d, err := DiffReads(prev, prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Entries) != 0 || d.Mass() != 0 {
+		t.Fatalf("self-delta not empty: %+v", d)
+	}
+}
+
+func TestReadDeltaRejectsShapeMismatch(t *testing.T) {
+	w1 := [][]int{{1, 2}, {3, 4}}
+	w2 := [][]int{{1, 2, 3}, {4, 5, 6}}
+	if _, err := DiffReads(w1, w2); err == nil {
+		t.Fatal("DiffReads accepted mismatched object counts")
+	}
+	d, err := DiffReads(w1, [][]int{{0, 2}, {3, 9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Apply([][]int{{1, 2, 3}, {4, 5, 6}}); err == nil {
+		t.Fatal("Apply accepted mismatched shape")
+	}
+	if d.Mass() != 1+5 {
+		t.Fatalf("Mass = %d, want 6", d.Mass())
+	}
+}
+
+func TestStaleness(t *testing.T) {
+	planned := [][]int{{10, 0}, {0, 10}}
+	realized := [][]int{{0, 10}, {0, 10}}
+	s, err := Staleness(planned, realized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != 1.0 { // 20 units of L1 drift over 20 realized reads
+		t.Fatalf("staleness = %g, want 1.0", s)
+	}
+	if s, err = Staleness(planned, planned); err != nil || s != 0 {
+		t.Fatalf("self-staleness = %g, %v; want 0, nil", s, err)
+	}
+	zero := [][]int{{0, 0}, {0, 0}}
+	if s, err = Staleness(planned, zero); err != nil || s != 0 {
+		t.Fatalf("zero-demand staleness = %g, %v; want 0, nil", s, err)
+	}
+	if _, err = Staleness(planned, [][]int{{1}}); err == nil {
+		t.Fatal("Staleness accepted mismatched shape")
+	}
+}

@@ -25,6 +25,15 @@
 #                                              -compare; FILE overrides the
 #                                              default record path)
 #
+#   scripts/bench_compare.sh --controller [FILE]
+#                                              gate the latest record of
+#                                              BENCH_controller.json: warm
+#                                              re-solve speedup >= 3x over the
+#                                              cold rebuild, no warm-iteration
+#                                              regression (delegates to
+#                                              cmd/controller -compare; FILE
+#                                              overrides the record path)
+#
 # Environment:
 #   BENCH_COUNT    repetitions per benchmark (default 3; raise for benchstat
 #                  significance testing)
@@ -36,6 +45,11 @@ cd "$(dirname "$0")/.."
 if [ "${1:-}" = "--scale" ]; then
     shift
     exec go run ./cmd/stress -compare ${1:+-bench "$1"}
+fi
+
+if [ "${1:-}" = "--controller" ]; then
+    shift
+    exec go run ./cmd/controller -compare -bench "${1:-BENCH_controller.json}"
 fi
 
 count="${BENCH_COUNT:-3}"
