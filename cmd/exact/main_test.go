@@ -1,0 +1,53 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunTreeScenario drives the whole oracle pipeline on a small rung of
+// the builtin kary scenario, with the brute-force cross-check on.
+func TestRunTreeScenario(t *testing.T) {
+	var out, errw strings.Builder
+	if err := run([]string{"-scenario", "tree-kary-63", "-nodes", "10", "-brute"}, &out, &errw); err != nil {
+		t.Fatalf("run: %v\nstderr: %s", err, errw.String())
+	}
+	got := out.String()
+	for _, want := range []string{"general", "tree-upwards", "ok"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output lacks %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "FAIL") || strings.Contains(got, "unsupported") {
+		t.Errorf("tree cells must verify cleanly:\n%s", got)
+	}
+}
+
+// TestRunNonTreeScenario: cells outside the oracle's scope report
+// "unsupported" and the run still succeeds — the oracle skips, it does
+// not guess.
+func TestRunNonTreeScenario(t *testing.T) {
+	var out, errw strings.Builder
+	if err := run([]string{"-scenario", "paper20-web", "-nodes", "10", "-qos-ignored"}, &out, &errw); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+	out.Reset()
+	errw.Reset()
+	if err := run([]string{"-scenario", "paper20-web", "-nodes", "10"}, &out, &errw); err != nil {
+		t.Fatalf("run: %v\nstderr: %s", err, errw.String())
+	}
+	if !strings.Contains(out.String(), "unsupported") {
+		t.Errorf("non-tree cells should report unsupported:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "ok") {
+		t.Errorf("no non-tree cell can verify:\n%s", out.String())
+	}
+}
+
+// TestRunRequiresScenario: the flag is mandatory.
+func TestRunRequiresScenario(t *testing.T) {
+	var out, errw strings.Builder
+	if err := run(nil, &out, &errw); err == nil {
+		t.Fatal("run without -scenario succeeded")
+	}
+}

@@ -22,12 +22,20 @@
 // Rungs at or above -xcheck-above sites additionally run the Lagrangian
 // decomposition engine on the least-constrained class and verify its bound
 // never exceeds the LP bound — an independent sanity check on the solver at
-// exactly the sizes where no second exact solver is affordable.
+// exactly the sizes where no second exact solver is affordable. On tree
+// topologies, -xcheck-exact (default on) additionally solves every
+// supported (class, QoS) cell to provable optimality with the subtree DP
+// (internal/exact) and asserts LP bound <= exact optimum <= certificate.
+// Every cross-check verdict is recorded in the rung's TSV footer
+// ("# xcheck:" lines) and in the BENCH_scale.json record, so a violation
+// is preserved in the run's artifacts; the run itself still writes all
+// TSVs and the bench record before exiting non-zero.
 package main
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -40,43 +48,49 @@ import (
 
 	"wideplace/internal/cli"
 	"wideplace/internal/core"
+	"wideplace/internal/exact"
 	"wideplace/internal/experiments"
 	"wideplace/internal/lp"
 	"wideplace/internal/scenario"
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "stress:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("stress", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		listFlag    = flag.Bool("list", false, "list registered scenarios and exit")
-		scenFlag    = flag.String("scenarios", "transit-stub-100,remote-office-clustered@100", "comma-separated scenario names or spec files, each optionally capped with @maxSites")
-		sizesFlag   = flag.String("sizes", "20,50,100,250,500", "comma-separated site-count ladder")
-		outFlag     = flag.String("out", ".", "directory for per-size TSV files")
-		benchFlag   = flag.String("bench", "BENCH_scale.json", "append the run's record to this JSON file (empty = skip)")
-		rounding    = flag.Bool("rounding", false, "also compute tightness certificates (slower; bounds are unchanged)")
-		parallel    = flag.Int("parallel", 0, "concurrent bound solves (0 = GOMAXPROCS, 1 = serial)")
-		solveCap    = flag.Duration("solve-timeout", 0, "wall-clock cap per LP solve (0 = unlimited)")
-		verbose     = flag.Bool("v", false, "print per-bound progress (incl. solver stats) to stderr")
-		xcheckAbove = flag.Int("xcheck-above", 250, "cross-check rungs with at least this many sites against the Lagrangian bound engine (0 = never)")
-		compareFlag = flag.Bool("compare", false, "diff per-size solver counters between the last two records of -bench and exit")
+		listFlag    = fs.Bool("list", false, "list registered scenarios and exit")
+		scenFlag    = fs.String("scenarios", "transit-stub-100,remote-office-clustered@100", "comma-separated scenario names or spec files, each optionally capped with @maxSites")
+		sizesFlag   = fs.String("sizes", "20,50,100,250,500", "comma-separated site-count ladder")
+		outFlag     = fs.String("out", ".", "directory for per-size TSV files")
+		benchFlag   = fs.String("bench", "BENCH_scale.json", "append the run's record to this JSON file (empty = skip)")
+		rounding    = fs.Bool("rounding", false, "also compute tightness certificates (slower; bounds are unchanged)")
+		parallel    = fs.Int("parallel", 0, "concurrent bound solves (0 = GOMAXPROCS, 1 = serial)")
+		solveCap    = fs.Duration("solve-timeout", 0, "wall-clock cap per LP solve (0 = unlimited)")
+		verbose     = fs.Bool("v", false, "print per-bound progress (incl. solver stats) to stderr")
+		xcheckAbove = fs.Int("xcheck-above", 250, "cross-check rungs with at least this many sites against the Lagrangian bound engine (0 = never)")
+		xcheckExact = fs.Bool("xcheck-exact", true, "on tree rungs, verify LP bound <= exact DP optimum <= certificate for every supported cell")
+		compareFlag = fs.Bool("compare", false, "diff per-size solver counters between the last two records of -bench and exit")
 	)
-	lpFlags := cli.RegisterLPFlags(flag.CommandLine)
-	flag.Parse()
+	lpFlags := cli.RegisterLPFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	if *listFlag {
 		for _, spec := range scenario.Specs() {
-			fmt.Printf("%-26s %s\n", spec.Name, spec.Description)
+			fmt.Fprintf(stdout, "%-26s %s\n", spec.Name, spec.Description)
 		}
 		return nil
 	}
 	if *compareFlag {
-		return compareRecords(*benchFlag, os.Stdout)
+		return compareRecords(*benchFlag, stdout)
 	}
 
 	sizes, err := parseSizes(*sizesFlag)
@@ -114,7 +128,7 @@ func run() error {
 
 	ctx, stop := cli.SignalContext(context.Background())
 	defer stop()
-	progress := cli.Progress(*verbose, os.Stderr)
+	progress := cli.Progress(*verbose, stderr)
 	opts := experiments.Options{
 		Parallel:     *parallel,
 		SolveTimeout: *solveCap,
@@ -129,6 +143,11 @@ func run() error {
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 	}
+	// Cross-check violations are collected run-wide and only returned
+	// after every TSV and the bench record are on disk: the artifacts of
+	// a failed run are exactly what's needed to diagnose it, and the
+	// "# xcheck:" footers carry the verdict into the BENCH history.
+	var violations []string
 	for _, lad := range specs {
 		base := lad.spec
 		entry := scaleScenario{Name: base.Name}
@@ -137,7 +156,7 @@ func run() error {
 				continue
 			}
 			start := time.Now()
-			res, err := cli.ResolveScenario(lad.ref, "stress", cli.ScenarioOptions{Nodes: n}, os.Stderr)
+			res, err := cli.ResolveScenario(lad.ref, "stress", cli.ScenarioOptions{Nodes: n}, stderr)
 			if err != nil {
 				return fmt.Errorf("%s at %d nodes: %w", base.Name, n, err)
 			}
@@ -147,14 +166,11 @@ func run() error {
 				return fmt.Errorf("%s at %d nodes: %w", base.Name, n, err)
 			}
 			wall := time.Since(start)
-			path := filepath.Join(*outFlag, fmt.Sprintf("stress_%s_n%d.tsv", base.Name, n))
-			if err := writeTSV(path, fig); err != nil {
-				return err
-			}
 			size := scaleSize{Nodes: n, WallNs: wall.Nanoseconds()}
 			var agg lp.Stats
 			size.Cells, agg = fig.SolverStats()
 			size.Solver = solverCounters(agg)
+			var footers []string
 			if *xcheckAbove > 0 && n >= *xcheckAbove {
 				xc, err := lagrangianXCheck(res.System, fig, opts.Bound.LP)
 				if err != nil {
@@ -162,12 +178,45 @@ func run() error {
 				}
 				size.XCheck = xc
 				if xc != nil {
-					fmt.Fprintf(os.Stderr, "stress: %s n=%d xcheck: lagrangian(%s, qos=%g) = %.0f <= lp bound %.0f\n",
-						base.Name, n, xc.Class, xc.QoS, xc.Lagrangian, xc.LPBound)
+					footers = append(footers, fmt.Sprintf(
+						"# xcheck: engine=lagrangian class=%s qos=%g lagrangian=%.6g lp=%.6g verdict=%s",
+						xc.Class, xc.QoS, xc.Lagrangian, xc.LPBound, xc.Verdict))
+					fmt.Fprintf(stderr, "stress: %s n=%d xcheck: lagrangian(%s, qos=%g) = %.0f vs lp bound %.0f: %s\n",
+						base.Name, n, xc.Class, xc.QoS, xc.Lagrangian, xc.LPBound, xc.Verdict)
+					if xc.Verdict != verdictOK {
+						violations = append(violations, fmt.Sprintf(
+							"%s n=%d: lagrangian bound %.6f exceeds LP bound %.6f at qos=%g",
+							base.Name, n, xc.Lagrangian, xc.LPBound, xc.QoS))
+					}
 				}
 			}
+			if *xcheckExact {
+				exc, err := exactXCheck(res, opts.Bound.LP)
+				if err != nil {
+					return fmt.Errorf("%s at %d nodes: exact cross-check: %w", base.Name, n, err)
+				}
+				size.Exact = exc
+				for _, x := range exc {
+					footers = append(footers, fmt.Sprintf(
+						"# xcheck: engine=exact class=%s qos=%g lp=%.6g exact=%g cert=%.6g replicas=%d verdict=%s",
+						x.Class, x.QoS, x.LPBound, x.Exact, x.Certificate, x.Replicas, x.Verdict))
+					if x.Verdict != verdictOK {
+						violations = append(violations, fmt.Sprintf(
+							"%s n=%d: exact oracle %s at qos=%g: %s (lp=%.12g exact=%.12g cert=%.12g)",
+							base.Name, n, x.Class, x.QoS, x.Verdict, x.LPBound, x.Exact, x.Certificate))
+					}
+				}
+				if len(exc) > 0 {
+					fmt.Fprintf(stderr, "stress: %s n=%d xcheck: exact oracle on %d cell(s): %s\n",
+						base.Name, n, len(exc), exactSummary(exc))
+				}
+			}
+			path := filepath.Join(*outFlag, fmt.Sprintf("stress_%s_n%d.tsv", base.Name, n))
+			if err := writeTSV(path, fig, footers); err != nil {
+				return err
+			}
 			entry.Sizes = append(entry.Sizes, size)
-			fmt.Printf("%s\tn=%d\tcells=%d\titerations=%d\twall=%s\t%s\n",
+			fmt.Fprintf(stdout, "%s\tn=%d\tcells=%d\titerations=%d\twall=%s\t%s\n",
 				base.Name, n, size.Cells, agg.Iterations, wall.Round(time.Millisecond), path)
 		}
 		record.Scenarios = append(record.Scenarios, entry)
@@ -176,7 +225,13 @@ func run() error {
 		if err := appendRecord(*benchFlag, record); err != nil {
 			return err
 		}
-		fmt.Printf("appended record to %s\n", *benchFlag)
+		fmt.Fprintf(stdout, "appended record to %s\n", *benchFlag)
+	}
+	if len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintf(stderr, "stress: FAIL: %s\n", v)
+		}
+		return fmt.Errorf("%d cross-check violation(s); TSVs and bench record were still written", len(violations))
 	}
 	return nil
 }
@@ -199,7 +254,7 @@ func parseSizes(s string) ([]int, error) {
 	return out, nil
 }
 
-func writeTSV(path string, fig *experiments.Figure) error {
+func writeTSV(path string, fig *experiments.Figure, footers []string) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -207,6 +262,12 @@ func writeTSV(path string, fig *experiments.Figure) error {
 	if err := fig.WriteTSV(f); err != nil {
 		f.Close()
 		return err
+	}
+	for _, line := range footers {
+		if _, err := fmt.Fprintln(f, line); err != nil {
+			f.Close()
+			return err
+		}
 	}
 	return f.Close()
 }
@@ -250,24 +311,46 @@ func solverCounters(agg lp.Stats) scaleSolver {
 	}
 }
 
+// verdictOK marks a passed cross-check; any other verdict string names
+// the violated inequality and is carried verbatim into TSV footers and
+// the bench record.
+const verdictOK = "ok"
+
 // scaleXCheck records one rung's Lagrangian cross-check: an independent
 // lower-bound engine run on the least-constrained class at the loosest QoS
-// point, whose value must never exceed the LP bound.
+// point, whose value must never exceed the LP bound. Verdict is "ok" or
+// the violated inequality; records written before the field existed
+// parse with an empty verdict.
 type scaleXCheck struct {
 	Class      string  `json:"class"`
 	QoS        float64 `json:"qos"`
 	Lagrangian float64 `json:"lagrangian"`
 	LPBound    float64 `json:"lpBound"`
+	Verdict    string  `json:"verdict,omitempty"`
+}
+
+// scaleExactXCheck records one tree-rung cell of the exact-oracle
+// cross-check: the DP optimum bracketed by the stack's own LP bound and
+// rounded certificate.
+type scaleExactXCheck struct {
+	Class       string  `json:"class"`
+	QoS         float64 `json:"qos"`
+	LPBound     float64 `json:"lpBound"`
+	Exact       float64 `json:"exact"`
+	Certificate float64 `json:"certificate"`
+	Replicas    int     `json:"replicas"`
+	Verdict     string  `json:"verdict"`
 }
 
 // scaleSize is one ladder rung: the sweep's size, wall time and solver
 // effort. Wall time is the only non-deterministic field.
 type scaleSize struct {
-	Nodes  int          `json:"nodes"`
-	Cells  int          `json:"cells"`
-	WallNs int64        `json:"wallNs"`
-	Solver scaleSolver  `json:"solver"`
-	XCheck *scaleXCheck `json:"xcheck,omitempty"`
+	Nodes  int                `json:"nodes"`
+	Cells  int                `json:"cells"`
+	WallNs int64              `json:"wallNs"`
+	Solver scaleSolver        `json:"solver"`
+	XCheck *scaleXCheck       `json:"xcheck,omitempty"`
+	Exact  []scaleExactXCheck `json:"exactXCheck,omitempty"`
 }
 
 // scaleScenario is one scenario's ladder.
@@ -286,12 +369,14 @@ type scaleRecord struct {
 
 // lagrangianXCheck runs the Lagrangian decomposition engine on the
 // least-constrained class at the loosest feasible QoS point of the sweep
-// and verifies its value never exceeds the LP bound there. Any class's LP
+// and checks its value never exceeds the LP bound there. Any class's LP
 // bound dominates the general class's, which in turn dominates every
 // Lagrangian iterate, so a violation can only mean a solver bug — exactly
 // the independent signal wanted at sizes where no second exact solver is
-// affordable. Returns nil (no check) when the sweep has no feasible
-// general cell.
+// affordable. A violation is reported in the returned record's Verdict,
+// not as an error, so the rung's artifacts still get written; errors are
+// reserved for the check itself failing to run. Returns nil (no check)
+// when the sweep has no feasible general cell.
 func lagrangianXCheck(sys *experiments.System, fig *experiments.Figure, lpOpts lp.Options) (*scaleXCheck, error) {
 	var pt *experiments.Point
 	for si := range fig.Series {
@@ -321,10 +406,80 @@ func lagrangianXCheck(sys *experiments.System, fig *experiments.Figure, lpOpts l
 		return nil, err
 	}
 	const tol = 1e-6
+	verdict := verdictOK
 	if b.LPBound > pt.Bound*(1+tol)+tol {
-		return nil, fmt.Errorf("lagrangian bound %.6f exceeds LP bound %.6f at qos=%g", b.LPBound, pt.Bound, pt.QoS)
+		verdict = "FAIL:lagrangian-above-lp"
 	}
-	return &scaleXCheck{Class: "general", QoS: pt.QoS, Lagrangian: b.LPBound, LPBound: pt.Bound}, nil
+	return &scaleXCheck{Class: "general", QoS: pt.QoS, Lagrangian: b.LPBound, LPBound: pt.Bound, Verdict: verdict}, nil
+}
+
+// exactXCheck runs the tree-network optimality oracle (internal/exact)
+// on every (class, QoS) cell of a rung: the DP optimum must be bracketed
+// by the stack's LP lower bound from below and the rounded certificate
+// from above. Non-tree topologies return no records at all, and cells
+// outside the oracle's scope (multi-interval, Tqos < 1, unsupported
+// class shape) are skipped — the oracle only speaks where it is exact.
+// Violations land in each record's Verdict; errors mean the check could
+// not run.
+func exactXCheck(res *scenario.Result, lpOpts lp.Options) ([]scaleExactXCheck, error) {
+	if _, err := res.System.Topo.TreeParents(); err != nil {
+		return nil, nil
+	}
+	const tol = 1e-9
+	var out []scaleExactXCheck
+	for _, tqos := range res.System.Spec.QoSPoints {
+		inst, err := res.System.Instance(tqos)
+		if err != nil {
+			return nil, err
+		}
+		for _, class := range res.Classes {
+			sol, err := exact.SolveInstance(inst, class)
+			if errors.Is(err, exact.ErrUnsupported) {
+				continue
+			}
+			if err != nil {
+				return nil, fmt.Errorf("%s at qos=%g: %w", class.Name, tqos, err)
+			}
+			// Rounding is forced on here regardless of -rounding: the
+			// certificate is the upper half of the oracle chain.
+			b, err := inst.LowerBound(class, core.BoundOptions{LP: lpOpts})
+			if err != nil {
+				return nil, fmt.Errorf("%s at qos=%g: lower bound: %w", class.Name, tqos, err)
+			}
+			verdict := verdictOK
+			switch {
+			case b.LPBound > sol.Cost+tol:
+				verdict = "FAIL:lp-above-exact"
+			case sol.Cost > b.FeasibleCost+tol:
+				verdict = "FAIL:exact-above-cert"
+			}
+			out = append(out, scaleExactXCheck{
+				Class:       class.Name,
+				QoS:         tqos,
+				LPBound:     b.LPBound,
+				Exact:       sol.Cost,
+				Certificate: b.FeasibleCost,
+				Replicas:    sol.Replicas,
+				Verdict:     verdict,
+			})
+		}
+	}
+	return out, nil
+}
+
+// exactSummary condenses a rung's exact-oracle records for the progress
+// line: "all ok" or the count of failing cells.
+func exactSummary(recs []scaleExactXCheck) string {
+	failed := 0
+	for _, r := range recs {
+		if r.Verdict != verdictOK {
+			failed++
+		}
+	}
+	if failed == 0 {
+		return "all ok"
+	}
+	return fmt.Sprintf("%d FAILED", failed)
 }
 
 // compareRecords diffs the per-size solver counters between the last two

@@ -110,13 +110,17 @@ func ClassNames() []string {
 		"caching-prefetch",
 		"coop-caching-prefetch",
 		"reactive",
+		"tree-upwards",
 	}
 }
 
 // ClassByName resolves a class from the Table 3 registry (plus the reactive
-// class of Sec. 6.2) by name, materialized for a concrete topology and
-// latency threshold.
+// class of Sec. 6.2 and the tree-upwards policy class) by name,
+// materialized for a concrete topology and latency threshold.
 func ClassByName(t *topology.Topology, tlat float64, name string) (*Class, error) {
+	if name == "tree-upwards" {
+		return TreeUpwards(t)
+	}
 	for _, c := range append(Classes(t, tlat), Reactive()) {
 		if c.Name == name {
 			return c, nil
@@ -215,6 +219,24 @@ func CoopCachingPrefetch(t *topology.Topology, tlat float64) *Class {
 // considered are reactive").
 func Reactive() *Class {
 	return &Class{Name: "reactive", History: HistoryAll, Reactive: true}
+}
+
+// TreeUpwards returns the upwards allocation policy of the tree-network
+// replica-placement literature (Benoit–Rehn–Robert) as a heuristic class:
+// a request may only be served by a replica on the client's path to the
+// origin. Expressed in MC-PERF terms that is a routing restriction —
+// Fetch is the ancestor-or-self matrix — with global knowledge and an
+// unbounded history. The class only exists on tree topologies; resolving
+// it on anything else is an error. Its covering rows are root-paths,
+// whose constraint matrices are totally balanced, so the LP relaxation is
+// integral on single-interval Tqos=1 instances — the property the exact
+// oracle's gap tests lean on.
+func TreeUpwards(t *topology.Topology) (*Class, error) {
+	fetch, err := t.AncestorMatrix()
+	if err != nil {
+		return nil, fmt.Errorf("core: class tree-upwards needs a tree topology: %w", err)
+	}
+	return &Class{Name: "tree-upwards", Fetch: fetch, History: HistoryAll}, nil
 }
 
 // createAllowed computes, for a class, whether object k may be created on

@@ -9,9 +9,11 @@ import (
 // TestClassNamesResolve checks the name registry the placement service
 // exposes: every advertised name resolves, resolution returns the class
 // with that name, and the list matches the Table 3 registry plus the
-// reactive class.
+// reactive and tree-upwards classes. A tree topology is used so that
+// every name — including tree-upwards, which refuses non-trees —
+// resolves.
 func TestClassNamesResolve(t *testing.T) {
-	topo, err := topology.Generate(topology.GenOptions{N: 5, Seed: 1})
+	topo, err := topology.GenerateTree(topology.TreeOptions{N: 7, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -27,7 +29,11 @@ func TestClassNamesResolve(t *testing.T) {
 		}
 	}
 
-	registry := append(Classes(topo, 150), Reactive())
+	tu, err := TreeUpwards(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	registry := append(Classes(topo, 150), Reactive(), tu)
 	if len(names) != len(registry) {
 		t.Fatalf("ClassNames lists %d names, registry has %d classes", len(names), len(registry))
 	}
@@ -35,6 +41,22 @@ func TestClassNamesResolve(t *testing.T) {
 		if names[i] != c.Name {
 			t.Errorf("name %d = %q, registry class is %q", i, names[i], c.Name)
 		}
+	}
+}
+
+// TestTreeUpwardsNeedsTree: the tree-upwards class must refuse topologies
+// whose links are not a spanning tree instead of silently building a
+// meaningless routing matrix.
+func TestTreeUpwardsNeedsTree(t *testing.T) {
+	topo, err := topology.Generate(topology.GenOptions{N: 12, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := TreeUpwards(topo); err == nil {
+		t.Error("TreeUpwards accepted a non-tree topology")
+	}
+	if _, err := ClassByName(topo, 150, "tree-upwards"); err == nil {
+		t.Error("ClassByName resolved tree-upwards on a non-tree topology")
 	}
 }
 

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"wideplace/internal/topology"
+	"wideplace/internal/workload"
+	"wideplace/internal/xrand"
+)
+
+// treeCounts builds a single-interval read workload on n nodes.
+func treeCounts(n, objects int, seed uint64) *workload.Counts {
+	c := &workload.Counts{
+		Nodes: n, Intervals: 1, Objects: objects, Delta: time.Hour,
+		Reads:  make([][][]int, n),
+		Writes: make([][][]int, n),
+	}
+	rng := xrand.New(seed)
+	for m := 0; m < n; m++ {
+		c.Reads[m] = [][]int{make([]int, objects)}
+		c.Writes[m] = [][]int{make([]int, objects)}
+		for k := 0; k < objects; k++ {
+			if rng.Intn(3) > 0 {
+				c.Reads[m][0][k] = rng.Intn(30)
+			}
+		}
+	}
+	return c
+}
+
+// TestTreeUpwardsGapCloses: the tree-upwards class's covering rows are
+// root paths, whose constraint matrix is totally balanced, so on
+// single-interval Tqos=1 tree instances the LP relaxation is integral and
+// the rounding pass must close the gap (Gap ~ 0) with a placement that
+// passes VerifySolution.
+func TestTreeUpwardsGapCloses(t *testing.T) {
+	for _, shape := range []string{topology.TreeKAry, topology.TreeRandom, topology.TreeCaterpillar} {
+		topo, err := topology.GenerateTree(topology.TreeOptions{N: 18, Shape: shape, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		inst, err := NewInstance(topo, treeCounts(topo.N, 5, 21), DefaultCost(), QoS(1, 200))
+		if err != nil {
+			t.Fatal(err)
+		}
+		class, err := TreeUpwards(topo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := inst.LowerBound(class, BoundOptions{})
+		if err != nil {
+			t.Fatalf("%s: LowerBound: %v", shape, err)
+		}
+		if gap := b.Gap(); gap > 1e-6 {
+			t.Errorf("%s: Gap() = %g, want ~0 (LP %g, certificate %g) — the tree-upwards LP should be integral",
+				shape, gap, b.LPBound, b.FeasibleCost)
+		}
+		if err := inst.VerifySolution(class, b.Store); err != nil {
+			t.Errorf("%s: rounded store fails verification: %v", shape, err)
+		}
+	}
+}
+
+// TestTreeUpwardsGapZeroAtZeroCost: a tree instance whose every node
+// reaches the origin within Tlat needs no replicas at all; both bound and
+// certificate are zero and Gap() must report 0, not NaN or Inf.
+func TestTreeUpwardsGapZeroAtZeroCost(t *testing.T) {
+	topo, err := topology.GenerateTree(topology.TreeOptions{N: 9, Seed: 2, HopMin: 1, HopMax: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := NewInstance(topo, treeCounts(topo.N, 3, 4), DefaultCost(), QoS(1, 10000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	class, err := TreeUpwards(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := inst.LowerBound(class, BoundOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.LPBound != 0 || b.FeasibleCost != 0 {
+		t.Fatalf("LP %g / certificate %g, want both 0: every node is within the bound of the origin", b.LPBound, b.FeasibleCost)
+	}
+	if b.Gap() != 0 {
+		t.Errorf("Gap() = %g at zero cost, want 0", b.Gap())
+	}
+	if err := inst.VerifySolution(class, b.Store); err != nil {
+		t.Errorf("empty store fails verification: %v", err)
+	}
+}

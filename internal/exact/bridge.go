@@ -1,0 +1,182 @@
+package exact
+
+import (
+	"errors"
+	"fmt"
+
+	"wideplace/internal/core"
+)
+
+// ErrUnsupported marks MC-PERF instances outside the tree oracle's reach:
+// callers (cmd/exact, the stress runner's cross-check) skip such cells
+// instead of failing.
+var ErrUnsupported = errors.New("exact: instance outside the tree oracle's scope")
+
+// InstanceSolution is the exact optimum of a full MC-PERF instance.
+type InstanceSolution struct {
+	// Cost is the optimal MC-PERF objective: (Alpha+Beta) per replica.
+	Cost float64
+	// Replicas is the total replica count across objects.
+	Replicas int
+	// PerObject[k] is the replica count for object k.
+	PerObject []int
+	// Store is the optimal placement in the core layout
+	// (Store[n][0][k]), directly comparable to Bound.Store and usable
+	// with Instance.VerifySolution / SolutionCost.
+	Store [][][]bool
+}
+
+// SolveInstance computes the provably optimal MC-PERF cost of a tree
+// instance via the per-object DP. It returns ErrUnsupported (wrapped with
+// the reason) unless the instance decomposes exactly:
+//
+//   - tree topology, a single evaluation interval, no initial placement;
+//   - a QoS goal with Tqos = 1 (every read within Tlat), so coverage is
+//     per-node set cover rather than fractional;
+//   - only alpha/beta costs, so every replica costs the same;
+//   - a class without storage/replica constraints or knowledge/history
+//     restrictions, whose routing is either global (policy any) or the
+//     ancestor paths of tree-upwards.
+//
+// Under those conditions objects are independent minimum distance-bounded
+// cover problems and the DP optimum equals the MC-PERF integer optimum,
+// giving the chain LP lower bound <= exact optimum <= rounded certificate.
+func SolveInstance(inst *core.Instance, class *core.Class) (*InstanceSolution, error) {
+	return solveInstanceWith(inst, class, Solve)
+}
+
+// SolveInstanceBrute is SolveInstance on the brute-force enumerator —
+// the differential check for the bridge itself, feasible only for small
+// trees (MaxBruteNodes).
+func SolveInstanceBrute(inst *core.Instance, class *core.Class) (*InstanceSolution, error) {
+	return solveInstanceWith(inst, class, BruteForce)
+}
+
+func solveInstanceWith(inst *core.Instance, class *core.Class, solve func(Problem) (*Placement, error)) (*InstanceSolution, error) {
+	parent, err := inst.Topo.TreeParents()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrUnsupported, err)
+	}
+	nN, nI, nK := inst.Dims()
+	if nI != 1 {
+		return nil, fmt.Errorf("%w: %d evaluation intervals (objects only decouple over a single interval)", ErrUnsupported, nI)
+	}
+	if inst.Initial != nil {
+		return nil, fmt.Errorf("%w: initial placements change per-replica creation costs", ErrUnsupported)
+	}
+	if inst.Goal.Kind != core.QoSGoal {
+		return nil, fmt.Errorf("%w: goal is not a QoS goal", ErrUnsupported)
+	}
+	if inst.Goal.Scope != core.PerUser && inst.Goal.Scope != core.Overall {
+		return nil, fmt.Errorf("%w: unknown goal scope %d", ErrUnsupported, inst.Goal.Scope)
+	}
+	if inst.Goal.Tqos < 1-1e-12 {
+		return nil, fmt.Errorf("%w: Tqos %g < 1 allows fractional coverage", ErrUnsupported, inst.Goal.Tqos)
+	}
+	if c := inst.Cost; c.Gamma != 0 || c.Delta != 0 || c.Zeta != 0 {
+		return nil, fmt.Errorf("%w: gamma/delta/zeta costs break the per-replica cost model", ErrUnsupported)
+	}
+	policy, err := classPolicy(inst, class)
+	if err != nil {
+		return nil, err
+	}
+
+	p := Problem{
+		Parent:  parent,
+		EdgeLat: make([]float64, nN),
+		Demand:  make([]float64, nN),
+		Bound:   inst.Goal.Tlat,
+		Policy:  policy,
+	}
+	for v := 0; v < nN; v++ {
+		if parent[v] >= 0 {
+			p.EdgeLat[v] = inst.Topo.Latency[v][parent[v]]
+		}
+	}
+
+	origin := inst.Topo.Origin
+	sol := &InstanceSolution{PerObject: make([]int, nK), Store: make([][][]bool, nN)}
+	for n := 0; n < nN; n++ {
+		sol.Store[n] = make([][]bool, 1)
+		sol.Store[n][0] = make([]bool, nK)
+	}
+	for k := 0; k < nK; k++ {
+		for v := 0; v < nN; v++ {
+			p.Demand[v] = 0
+			if inst.Counts.Reads[v][0][k] > 0 && inst.Topo.Latency[v][origin] > inst.Goal.Tlat {
+				// Reads the origin copy cannot serve within Tlat; everything
+				// else is covered for free.
+				p.Demand[v] = float64(inst.Counts.Reads[v][0][k])
+			}
+		}
+		pl, err := solve(p)
+		if err != nil {
+			return nil, fmt.Errorf("exact: object %d: %w", k, err)
+		}
+		sol.PerObject[k] = len(pl.Replicas)
+		sol.Replicas += len(pl.Replicas)
+		for _, r := range pl.Replicas {
+			sol.Store[r][0][k] = true
+		}
+	}
+	sol.Cost = (inst.Cost.Alpha + inst.Cost.Beta) * float64(sol.Replicas)
+	return sol, nil
+}
+
+// classPolicy maps a heuristic class onto an allocation policy, or
+// explains why the oracle cannot model it.
+func classPolicy(inst *core.Instance, class *core.Class) (Policy, error) {
+	if class == nil {
+		return PolicyAny, nil
+	}
+	if class.Storage != core.NoConstraint || class.Replica != core.NoConstraint {
+		return 0, fmt.Errorf("%w: class %s carries a storage or replica constraint", ErrUnsupported, class.Name)
+	}
+	if !allTrue(class.Know) {
+		return 0, fmt.Errorf("%w: class %s restricts placement knowledge", ErrUnsupported, class.Name)
+	}
+	if !class.Unrestricted && (class.Reactive || (class.History != core.HistoryAll && class.History < 1)) {
+		// With one interval and no initial placement a reactive or
+		// zero-history class cannot create anything at all; the DP assumes
+		// replicas may go anywhere.
+		return 0, fmt.Errorf("%w: class %s cannot create replicas in the only interval", ErrUnsupported, class.Name)
+	}
+	if allTrue(class.Fetch) {
+		return PolicyAny, nil
+	}
+	anc, err := inst.Topo.AncestorMatrix()
+	if err == nil && matrixEqual(class.Fetch, anc) {
+		return PolicyUpwards, nil
+	}
+	return 0, fmt.Errorf("%w: class %s routing is neither global nor the tree's ancestor paths", ErrUnsupported, class.Name)
+}
+
+// allTrue reports whether a knowledge/routing matrix is absent (nil = no
+// restriction) or explicitly all-true.
+func allTrue(m [][]bool) bool {
+	for _, row := range m {
+		for _, v := range row {
+			if !v {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func matrixEqual(a, b [][]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}

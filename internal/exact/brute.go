@@ -1,0 +1,108 @@
+package exact
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// MaxBruteNodes caps BruteForce's instance size; subset enumeration is
+// 2^(n-1) feasibility checks.
+const MaxBruteNodes = 16
+
+// BruteForce solves a Problem by enumerating every subset of non-root
+// nodes and keeping the cheapest feasible one. It exists purely as a test
+// oracle for the DP (property tests, FuzzTreeDP, the CI smoke step): the
+// two solvers share nothing beyond the Problem validation, so agreement
+// on every instance up to MaxBruteNodes pins the DP down. Ties between
+// equal-cost subsets break toward the numerically smallest subset mask,
+// making the witness deterministic.
+func BruteForce(p Problem) (*Placement, error) {
+	t, err := buildTree(&p)
+	if err != nil {
+		return nil, err
+	}
+	if t.n > MaxBruteNodes {
+		return nil, fmt.Errorf("exact: BruteForce handles at most %d nodes, got %d", MaxBruteNodes, t.n)
+	}
+	if err := supportedCapacity(&p); err != nil {
+		return nil, err
+	}
+	// sites[i] is the node the i-th subset bit selects.
+	var sites []int
+	for v := 0; v < t.n; v++ {
+		if v != t.root {
+			sites = append(sites, v)
+		}
+	}
+	bestMask, bestCount := -1, t.n+1
+	for mask := 0; mask < 1<<len(sites); mask++ {
+		count := bits.OnesCount(uint(mask))
+		// Ascending mask order means the first feasible subset of a given
+		// size wins; only strictly smaller subsets can replace it.
+		if count >= bestCount {
+			continue
+		}
+		if bruteFeasible(&p, t, sites, mask) {
+			bestMask, bestCount = mask, count
+		}
+	}
+	if bestMask < 0 {
+		return nil, ErrInfeasible
+	}
+	var replicas []int
+	for i, s := range sites {
+		if bestMask&(1<<i) != 0 {
+			replicas = append(replicas, s)
+		}
+	}
+	return makePlacement(&p, t, replicas)
+}
+
+// bruteFeasible checks one subset under the Problem's policy.
+func bruteFeasible(p *Problem, t *tree, sites []int, mask int) bool {
+	inSet := make([]bool, t.n)
+	for i, s := range sites {
+		if mask&(1<<i) != 0 {
+			inSet[s] = true
+		}
+	}
+	inSet[t.root] = true
+	load := make([]float64, t.n)
+	for v := 0; v < t.n; v++ {
+		if p.Demand[v] == 0 {
+			continue
+		}
+		srv := -1
+		switch p.Policy {
+		case PolicyAny:
+			best := p.bound(v)
+			for c := 0; c < t.n; c++ {
+				if inSet[c] && t.dist[v][c] <= best {
+					best, srv = t.dist[v][c], c
+				}
+			}
+		default: // Upwards and Closest: the deepest on-path replica is the nearest
+			for u := v; u >= 0; u = t.parent[u] {
+				if inSet[u] {
+					srv = u
+					break
+				}
+			}
+			if srv >= 0 && t.dist[v][srv] > p.bound(v) {
+				srv = -1
+			}
+		}
+		if srv < 0 {
+			return false
+		}
+		load[srv] += p.Demand[v]
+	}
+	if p.Capacity > 0 {
+		for r := 0; r < t.n; r++ {
+			if r != t.root && inSet[r] && load[r] > p.Capacity {
+				return false
+			}
+		}
+	}
+	return true
+}

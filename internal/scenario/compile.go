@@ -139,6 +139,13 @@ func (s *Spec) buildTopology() (*topology.Topology, error) {
 			N: s.Nodes(), Seed: s.topoSeed(), Origin: s.Topology.Origin,
 			Clusters: s.Topology.Clusters,
 		})
+	case TopoTree:
+		return topology.GenerateTree(topology.TreeOptions{
+			N: s.Nodes(), Seed: s.topoSeed(), Origin: s.Topology.Origin,
+			Shape: s.Topology.Shape, Arity: s.Topology.Arity,
+			HopMin: s.Topology.MinHopMillis, HopMax: s.Topology.MaxHopMillis,
+			DepthScale: s.Topology.DepthScale,
+		})
 	default:
 		return nil, fmt.Errorf("unknown topology model %q", s.Topology.Model)
 	}

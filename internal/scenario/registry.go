@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"wideplace/internal/experiments"
+	"wideplace/internal/topology"
 )
 
 // The registry maps scenario names to specs. Builtins cover the paper's
@@ -192,6 +193,38 @@ func init() {
 		QoS:               []float64{0.95, 0.99},
 		Classes:           []string{"general", "storage-constrained", "replica-constrained"},
 		Zeta:              2000,
+		RequireAllClasses: true,
+	})
+	// The tree family: the only instances with an external ground truth.
+	// One evaluation interval (delta = horizon) and a Tqos = 1 goal keep
+	// them inside the exact oracle's scope (internal/exact.SolveInstance),
+	// so every bound on them is checked against a provably optimal cost.
+	mustRegister(Spec{
+		Name:        "tree-kary-63",
+		Description: "63-site balanced binary tree; single interval, Tqos=1, exactly solvable",
+		Seed:        42,
+		Topology:    TopologySpec{Model: TopoTree, Nodes: 63, Shape: topology.TreeKAry, Arity: 2},
+		Workload: WorkloadSpec{
+			Model: WorkWeb, Objects: 12, Requests: 12000,
+			HorizonMillis: (6 * time.Hour).Milliseconds(),
+		},
+		DeltaMillis:       (6 * time.Hour).Milliseconds(),
+		QoS:               []float64{1.0},
+		Classes:           []string{"general", "tree-upwards"},
+		RequireAllClasses: true,
+	})
+	mustRegister(Spec{
+		Name:        "tree-random-100",
+		Description: "100-site random-attachment tree; single interval, Tqos=1, exactly solvable",
+		Seed:        7,
+		Topology:    TopologySpec{Model: TopoTree, Nodes: 100, Shape: topology.TreeRandom},
+		Workload: WorkloadSpec{
+			Model: WorkWeb, Objects: 10, Requests: 10000,
+			HorizonMillis: (6 * time.Hour).Milliseconds(),
+		},
+		DeltaMillis:       (6 * time.Hour).Milliseconds(),
+		QoS:               []float64{1.0},
+		Classes:           []string{"general", "tree-upwards"},
 		RequireAllClasses: true,
 	})
 	mustRegister(Spec{

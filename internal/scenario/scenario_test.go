@@ -108,6 +108,10 @@ func TestParseRejectsBadSpecs(t *testing.T) {
 		{"unknown workload", `{"name":"x","topology":{"model":"random-as"},"workload":{"model":"batch"},"qos":[0.9]}`, "unknown workload model"},
 		{"cross-model topo knob", `{"name":"x","topology":{"model":"random-as","transit":4},"workload":{"model":"web"},"qos":[0.9]}`, "not random-as parameters"},
 		{"cross-model work knob", `{"name":"x","topology":{"model":"random-as"},"workload":{"model":"web","crowdShare":0.4},"qos":[0.9]}`, "not web parameters"},
+		{"tree knob on random-as", `{"name":"x","topology":{"model":"random-as","shape":"kary"},"workload":{"model":"web"},"qos":[0.9]}`, "not random-as parameters"},
+		{"tree knob on transit-stub", `{"name":"x","topology":{"model":"transit-stub","depthScale":0.5},"workload":{"model":"web"},"qos":[0.9]}`, "not transit-stub parameters"},
+		{"transit on tree", `{"name":"x","topology":{"model":"tree","transit":4},"workload":{"model":"web"},"qos":[0.9]}`, "not tree parameters"},
+		{"unknown tree shape", `{"name":"x","topology":{"model":"tree","shape":"braided"},"workload":{"model":"web"},"qos":[0.9]}`, "unknown tree shape"},
 		{"qos out of range", `{"name":"x","topology":{"model":"random-as"},"workload":{"model":"web"},"qos":[1.5]}`, "outside (0, 1]"},
 		{"duplicate qos", `{"name":"x","topology":{"model":"random-as"},"workload":{"model":"web"},"qos":[0.9,0.9]}`, "duplicate QoS"},
 		{"unknown class", `{"name":"x","topology":{"model":"random-as"},"workload":{"model":"web"},"qos":[0.9],"classes":["psychic"]}`, "unknown class"},

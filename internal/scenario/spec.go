@@ -18,6 +18,7 @@ import (
 
 	"wideplace/internal/core"
 	"wideplace/internal/experiments"
+	"wideplace/internal/topology"
 )
 
 // Topology model names.
@@ -32,6 +33,9 @@ const (
 	// TopoRemoteOffice is the clustered enterprise model
 	// (topology.GenerateRemoteOffice).
 	TopoRemoteOffice = "remote-office"
+	// TopoTree is the rooted-tree family (topology.GenerateTree) whose
+	// instances the exact oracle (internal/exact) can solve to optimality.
+	TopoTree = "tree"
 )
 
 // Workload model names.
@@ -47,7 +51,7 @@ const (
 // chosen model must stay zero (the validator rejects cross-model knobs so
 // a typoed spec fails loudly).
 type TopologySpec struct {
-	// Model is one of random-as, transit-stub or remote-office.
+	// Model is one of random-as, transit-stub, remote-office or tree.
 	Model string `json:"model"`
 	// Nodes is the total site count (default 20).
 	Nodes int `json:"nodes,omitempty"`
@@ -65,6 +69,15 @@ type TopologySpec struct {
 	Transit int `json:"transit,omitempty"`
 	// Clusters is the office-cluster count of remote-office (0 = N/5).
 	Clusters int `json:"clusters,omitempty"`
+	// Shape selects the tree family's wiring: kary (default), random or
+	// caterpillar.
+	Shape string `json:"shape,omitempty"`
+	// Arity is the branching factor of the kary tree shape (default 2).
+	Arity int `json:"arity,omitempty"`
+	// DepthScale multiplies hop latencies per level of depth in the tree
+	// model (default 0.7: edges shorten toward the leaves). The tree model
+	// reuses MinHopMillis/MaxHopMillis for its root-level hop range.
+	DepthScale float64 `json:"depthScale,omitempty"`
 }
 
 // WorkloadSpec names a workload model and its parameters. As with
@@ -257,31 +270,41 @@ func (s *Spec) validateTopology() error {
 	for _, f := range []struct {
 		name string
 		v    float64
-	}{{"minHopMillis", t.MinHopMillis}, {"maxHopMillis", t.MaxHopMillis}} {
+	}{{"minHopMillis", t.MinHopMillis}, {"maxHopMillis", t.MaxHopMillis}, {"depthScale", t.DepthScale}} {
 		if v := f.v; v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
 			return fmt.Errorf("scenario %s: topology.%s %v must be a finite non-negative number", s.Name, f.name, v)
 		}
 	}
-	if t.ExtraLinks < 0 || t.Transit < 0 || t.Clusters < 0 || t.Origin < 0 {
+	if t.ExtraLinks < 0 || t.Transit < 0 || t.Clusters < 0 || t.Origin < 0 || t.Arity < 0 {
 		return fmt.Errorf("scenario %s: topology counts must not be negative", s.Name)
 	}
+	tree := t.Shape != "" || t.Arity != 0 || t.DepthScale != 0
 	switch t.Model {
 	case TopoRandomAS:
-		if t.Transit != 0 || t.Clusters != 0 {
-			return fmt.Errorf("scenario %s: transit/clusters are not %s parameters", s.Name, t.Model)
+		if t.Transit != 0 || t.Clusters != 0 || tree {
+			return fmt.Errorf("scenario %s: transit/clusters/tree knobs are not %s parameters", s.Name, t.Model)
 		}
 	case TopoTransitStub:
-		if t.Clusters != 0 || t.ExtraLinks != 0 {
-			return fmt.Errorf("scenario %s: clusters/extraLinks are not %s parameters", s.Name, t.Model)
+		if t.Clusters != 0 || t.ExtraLinks != 0 || tree {
+			return fmt.Errorf("scenario %s: clusters/extraLinks/tree knobs are not %s parameters", s.Name, t.Model)
 		}
 	case TopoRemoteOffice:
-		if t.Transit != 0 || t.ExtraLinks != 0 {
-			return fmt.Errorf("scenario %s: transit/extraLinks are not %s parameters", s.Name, t.Model)
+		if t.Transit != 0 || t.ExtraLinks != 0 || tree {
+			return fmt.Errorf("scenario %s: transit/extraLinks/tree knobs are not %s parameters", s.Name, t.Model)
+		}
+	case TopoTree:
+		if t.Transit != 0 || t.Clusters != 0 || t.ExtraLinks != 0 {
+			return fmt.Errorf("scenario %s: transit/clusters/extraLinks are not %s parameters", s.Name, t.Model)
+		}
+		switch t.Shape {
+		case "", topology.TreeKAry, topology.TreeRandom, topology.TreeCaterpillar:
+		default:
+			return fmt.Errorf("scenario %s: unknown tree shape %q (want kary, random or caterpillar)", s.Name, t.Shape)
 		}
 	case "":
-		return fmt.Errorf("scenario %s: topology.model is required (random-as, transit-stub or remote-office)", s.Name)
+		return fmt.Errorf("scenario %s: topology.model is required (random-as, transit-stub, remote-office or tree)", s.Name)
 	default:
-		return fmt.Errorf("scenario %s: unknown topology model %q (want random-as, transit-stub or remote-office)", s.Name, t.Model)
+		return fmt.Errorf("scenario %s: unknown topology model %q (want random-as, transit-stub, remote-office or tree)", s.Name, t.Model)
 	}
 	return nil
 }

@@ -1,6 +1,6 @@
 package topology
 
-// Parameterized topology families beyond the AS-like Generate model. Both
+// Parameterized topology families beyond the AS-like Generate model. The
 // generators here are deterministic in their seed and scale to hundreds of
 // nodes; they exist so the scenario layer can sweep placement questions
 // across structurally different networks (the evaluation style of the
@@ -9,6 +9,7 @@ package topology
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"wideplace/internal/xrand"
 )
@@ -106,6 +107,121 @@ func GenerateTransitStub(opts TransitStubOptions) (*Topology, error) {
 			A: s, B: rng.Intn(opts.Transit),
 			Latency: rng.Range(opts.StubHopMin, opts.StubHopMax),
 		})
+	}
+	return New(opts.N, links, opts.Origin)
+}
+
+// Tree shape names for TreeOptions.Shape.
+const (
+	// TreeKAry is the balanced k-ary tree: node i hangs under (i-1)/k.
+	TreeKAry = "kary"
+	// TreeRandom attaches each node to a uniformly chosen earlier node,
+	// yielding random recursive trees (logarithmic depth, irregular fan).
+	TreeRandom = "random"
+	// TreeCaterpillar is a long spine with leaf legs — the deep-and-thin
+	// worst case for distance-bounded placement.
+	TreeCaterpillar = "caterpillar"
+)
+
+// TreeOptions configures GenerateTree.
+type TreeOptions struct {
+	// N is the total number of sites (default 20).
+	N int
+	// Shape is one of kary, random or caterpillar (default kary).
+	Shape string
+	// Arity is the branching factor of the kary shape (default 2).
+	Arity int
+	// Seed drives every random choice.
+	Seed uint64
+	// HopMin/HopMax bound the depth-0 edge latencies in ms (defaults
+	// 60/180: wide-area trunks near the root).
+	HopMin, HopMax float64
+	// DepthScale multiplies the latency range once per depth level
+	// (default 0.7): an edge from depth d to depth d+1 draws from
+	// [HopMin, HopMax) * DepthScale^d, so links get progressively more
+	// local away from the root — the distribution-tree structure of the
+	// tree-network replica-placement literature.
+	DepthScale float64
+	// Origin is the headquarters node index (default 0, the structural
+	// root).
+	Origin int
+}
+
+func (o TreeOptions) withDefaults() TreeOptions {
+	if o.N == 0 {
+		o.N = 20
+	}
+	if o.Shape == "" {
+		o.Shape = TreeKAry
+	}
+	if o.Arity == 0 {
+		o.Arity = 2
+	}
+	if o.HopMin == 0 {
+		o.HopMin = 60
+	}
+	if o.HopMax == 0 {
+		o.HopMax = 180
+	}
+	if o.DepthScale == 0 {
+		o.DepthScale = 0.7
+	}
+	return o
+}
+
+// GenerateTree builds a tree topology in one of three shapes with
+// depth-weighted edge latencies. Trees matter beyond structural variety:
+// on them the exact solver of internal/exact computes provably optimal
+// placements, so every tree instance doubles as a correctness oracle for
+// the LP bound and rounding machinery. Node 0 is the structural root;
+// edges are generated for nodes 1..N-1 in index order, so a fixed seed
+// yields a fixed topology regardless of shape.
+func GenerateTree(opts TreeOptions) (*Topology, error) {
+	opts = opts.withDefaults()
+	if opts.N < 2 {
+		return nil, errors.New("topology: GenerateTree needs at least two nodes")
+	}
+	if opts.Arity < 1 {
+		return nil, fmt.Errorf("topology: tree arity %d must be at least 1", opts.Arity)
+	}
+	if opts.HopMin < 0 || opts.HopMax < opts.HopMin {
+		return nil, errors.New("topology: hop latency ranges must satisfy 0 <= min <= max")
+	}
+	if !(opts.DepthScale > 0) || math.IsInf(opts.DepthScale, 0) {
+		return nil, fmt.Errorf("topology: tree depth scale %v must be a finite positive number", opts.DepthScale)
+	}
+	parent := make([]int, opts.N)
+	rng := xrand.New(opts.Seed)
+	switch opts.Shape {
+	case TreeKAry:
+		for i := 1; i < opts.N; i++ {
+			parent[i] = (i - 1) / opts.Arity
+		}
+	case TreeRandom:
+		for i := 1; i < opts.N; i++ {
+			parent[i] = rng.Intn(i)
+		}
+	case TreeCaterpillar:
+		// First half is the spine; the rest are legs dealt round-robin
+		// onto spine nodes.
+		spine := (opts.N + 1) / 2
+		for i := 1; i < spine; i++ {
+			parent[i] = i - 1
+		}
+		for i := spine; i < opts.N; i++ {
+			parent[i] = (i - spine) % spine
+		}
+	default:
+		return nil, fmt.Errorf("topology: unknown tree shape %q (want %s, %s or %s)",
+			opts.Shape, TreeKAry, TreeRandom, TreeCaterpillar)
+	}
+	depth := make([]int, opts.N)
+	links := make([]Link, 0, opts.N-1)
+	for i := 1; i < opts.N; i++ {
+		p := parent[i]
+		depth[i] = depth[p] + 1
+		scale := math.Pow(opts.DepthScale, float64(depth[p]))
+		links = append(links, Link{A: i, B: p, Latency: rng.Range(opts.HopMin, opts.HopMax) * scale})
 	}
 	return New(opts.N, links, opts.Origin)
 }

@@ -1,0 +1,81 @@
+package topology
+
+// Tree-structure helpers. A topology whose link set forms a spanning tree
+// supports the allocation policies of the tree-network replica-placement
+// literature (upwards/closest service along the path to the root) and the
+// exact solver of internal/exact; both interpret the tree as rooted at
+// the origin through TreeParents.
+
+import (
+	"errors"
+	"fmt"
+)
+
+// TreeParents interprets the topology's link set as a tree rooted at the
+// origin and returns each node's parent (-1 for the origin). It fails
+// when the links do not form a spanning tree — wrong edge count, cycles,
+// unreachable nodes — or when the topology carries no link structure at
+// all (NewFromMatrix). Link latencies are irrelevant here; distances come
+// from the Latency closure, which on a tree is exactly the per-path edge
+// sum.
+func (t *Topology) TreeParents() ([]int, error) {
+	if len(t.Links) == 0 && t.N > 1 {
+		return nil, errors.New("topology: no link structure (matrix-built topology); cannot interpret as a tree")
+	}
+	if len(t.Links) != t.N-1 {
+		return nil, fmt.Errorf("topology: %d links on %d nodes do not form a tree (want %d)", len(t.Links), t.N, t.N-1)
+	}
+	adj := make([][]int, t.N)
+	for _, l := range t.Links {
+		if l.A == l.B {
+			return nil, fmt.Errorf("topology: self-loop on node %d is not a tree edge", l.A)
+		}
+		adj[l.A] = append(adj[l.A], l.B)
+		adj[l.B] = append(adj[l.B], l.A)
+	}
+	const unseen = -2
+	parent := make([]int, t.N)
+	for i := range parent {
+		parent[i] = unseen
+	}
+	parent[t.Origin] = -1
+	queue := []int{t.Origin}
+	seen := 1
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range adj[v] {
+			if w == parent[v] {
+				continue
+			}
+			if parent[w] != unseen {
+				return nil, errors.New("topology: links contain a cycle; not a tree")
+			}
+			parent[w] = v
+			seen++
+			queue = append(queue, w)
+		}
+	}
+	if seen != t.N {
+		return nil, fmt.Errorf("%w: tree links reach only %d of %d nodes", ErrDisconnected, seen, t.N)
+	}
+	return parent, nil
+}
+
+// AncestorMatrix returns the routing matrix of the upwards allocation
+// policy on a tree: M[n][m] is true iff m is n itself or an ancestor of n
+// on the path to the origin. It fails when the topology is not a tree.
+func (t *Topology) AncestorMatrix() ([][]bool, error) {
+	parent, err := t.TreeParents()
+	if err != nil {
+		return nil, err
+	}
+	m := make([][]bool, t.N)
+	for n := 0; n < t.N; n++ {
+		m[n] = make([]bool, t.N)
+		for v := n; v != -1; v = parent[v] {
+			m[n][v] = true
+		}
+	}
+	return m, nil
+}

@@ -1,0 +1,265 @@
+package topology
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// TestGenerateTreeShapes is the table-driven structural check for the
+// tree family: every shape yields a spanning tree with the advertised
+// parent structure, and the latency closure keeps the tree-metric
+// promises (symmetry, zero diagonal, triangle equality through the
+// unique path).
+func TestGenerateTreeShapes(t *testing.T) {
+	cases := []struct {
+		name string
+		opts TreeOptions
+		// wantParent checks the structural parent of a few probe nodes
+		// (index -> parent).
+		wantParent map[int]int
+	}{
+		{
+			name: "binary",
+			opts: TreeOptions{N: 15, Shape: TreeKAry, Arity: 2, Seed: 1},
+			wantParent: map[int]int{
+				1: 0, 2: 0, 3: 1, 4: 1, 5: 2, 6: 2, 14: 6,
+			},
+		},
+		{
+			name: "ternary",
+			opts: TreeOptions{N: 13, Shape: TreeKAry, Arity: 3, Seed: 2},
+			wantParent: map[int]int{
+				1: 0, 3: 0, 4: 1, 12: 3,
+			},
+		},
+		{
+			name: "random",
+			opts: TreeOptions{N: 20, Shape: TreeRandom, Seed: 3},
+			// Random attachment fixes only the first child.
+			wantParent: map[int]int{1: 0},
+		},
+		{
+			name: "caterpillar",
+			opts: TreeOptions{N: 11, Shape: TreeCaterpillar, Seed: 4},
+			// Spine 0..5, legs 6..10 dealt round-robin onto it.
+			wantParent: map[int]int{
+				1: 0, 5: 4, 6: 0, 7: 1, 10: 4,
+			},
+		},
+		{
+			name:       "defaults",
+			opts:       TreeOptions{Seed: 5},
+			wantParent: map[int]int{1: 0, 2: 0, 3: 1},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			topo, err := GenerateTree(c.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantN := c.opts.N
+			if wantN == 0 {
+				wantN = 20
+			}
+			if topo.N != wantN {
+				t.Fatalf("N = %d, want %d", topo.N, wantN)
+			}
+			if len(topo.Links) != topo.N-1 {
+				t.Fatalf("%d links, a tree on %d nodes needs %d", len(topo.Links), topo.N, topo.N-1)
+			}
+			parent, err := topo.TreeParents()
+			if err != nil {
+				t.Fatalf("generated tree rejected by TreeParents: %v", err)
+			}
+			for node, want := range c.wantParent {
+				if parent[node] != want {
+					t.Errorf("parent[%d] = %d, want %d", node, parent[node], want)
+				}
+			}
+			// Latency symmetry and zero diagonal.
+			for i := 0; i < topo.N; i++ {
+				if topo.Latency[i][i] != 0 {
+					t.Fatalf("Latency[%d][%d] = %g, want 0", i, i, topo.Latency[i][i])
+				}
+				for j := 0; j < topo.N; j++ {
+					if topo.Latency[i][j] != topo.Latency[j][i] {
+						t.Fatalf("Latency[%d][%d] = %g != Latency[%d][%d] = %g",
+							i, j, topo.Latency[i][j], j, i, topo.Latency[j][i])
+					}
+					if math.IsInf(topo.Latency[i][j], 0) || math.IsNaN(topo.Latency[i][j]) {
+						t.Fatalf("Latency[%d][%d] = %v not finite", i, j, topo.Latency[i][j])
+					}
+				}
+			}
+			// Triangle inequality holds by construction on a shortest-path
+			// closure; on a tree metric it is tight through any node on the
+			// unique path, e.g. dist(u,v) = dist(u,p)+dist(p,v) for v's
+			// parent p on the path from v up to u's side.
+			for i := 0; i < topo.N; i++ {
+				for j := 0; j < topo.N; j++ {
+					for k := 0; k < topo.N; k++ {
+						if topo.Latency[i][j] > topo.Latency[i][k]+topo.Latency[k][j]+1e-9 {
+							t.Fatalf("triangle violation: d(%d,%d)=%g > d(%d,%d)+d(%d,%d)=%g",
+								i, j, topo.Latency[i][j], i, k, k, j,
+								topo.Latency[i][k]+topo.Latency[k][j])
+						}
+					}
+				}
+			}
+			// Tree metric: the path latency through the parent is exact.
+			for v := 0; v < topo.N; v++ {
+				p := parent[v]
+				if p < 0 {
+					continue
+				}
+				want := topo.Latency[v][p] + topo.Latency[p][topo.Origin]
+				if math.Abs(topo.Latency[v][topo.Origin]-want) > 1e-9 {
+					t.Fatalf("tree metric broken at %d: d(v,origin)=%g, via parent %g",
+						v, topo.Latency[v][topo.Origin], want)
+				}
+			}
+		})
+	}
+}
+
+// TestGenerateTreeDepthWeighting checks that edges decay with depth: the
+// deepest edge of a caterpillar spine must be strictly cheaper than the
+// most expensive root edge once the decay has compounded a few levels.
+func TestGenerateTreeDepthWeighting(t *testing.T) {
+	opts := TreeOptions{N: 21, Shape: TreeCaterpillar, Seed: 9}
+	topo, err := GenerateTree(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parent, err := topo.TreeParents()
+	if err != nil {
+		t.Fatal(err)
+	}
+	depth := make([]int, topo.N)
+	deepestAt := func(d int) float64 {
+		mx := 0.0
+		for v := 1; v < topo.N; v++ {
+			for u := v; parent[u] >= 0; u = parent[u] {
+				depth[v]++
+			}
+		}
+		for _, l := range topo.Links {
+			child := l.A
+			if parent[l.B] == l.A {
+				child = l.B
+			}
+			if depth[child] == d && l.Latency > mx {
+				mx = l.Latency
+			}
+		}
+		return mx
+	}
+	def := opts.withDefaults()
+	// A depth-6 edge draws from a range scaled by DepthScale^5 < 1/5, so
+	// it cannot reach even the minimum of the root range.
+	if deep := deepestAt(6); deep >= def.HopMin {
+		t.Fatalf("depth-6 edge latency %g not attenuated below the root range minimum %g", deep, def.HopMin)
+	}
+}
+
+// TestGenerateTreeDeterministic mirrors the scenario determinism test at
+// the generator level: same options, byte-identical topology.
+func TestGenerateTreeDeterministic(t *testing.T) {
+	for _, shape := range []string{TreeKAry, TreeRandom, TreeCaterpillar} {
+		a, err := GenerateTree(TreeOptions{N: 30, Shape: shape, Seed: 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := GenerateTree(TreeOptions{N: 30, Shape: shape, Seed: 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("shape %s: two generations from one seed differ", shape)
+		}
+		c, err := GenerateTree(TreeOptions{N: 30, Shape: shape, Seed: 12})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reflect.DeepEqual(a.Latency, c.Latency) {
+			t.Fatalf("shape %s: different seeds produced identical latencies", shape)
+		}
+	}
+}
+
+func TestGenerateTreeBadOptions(t *testing.T) {
+	cases := []struct {
+		name string
+		opts TreeOptions
+	}{
+		{"one node", TreeOptions{N: 1}},
+		{"unknown shape", TreeOptions{N: 8, Shape: "binary"}},
+		{"negative arity", TreeOptions{N: 8, Arity: -1}},
+		{"bad hop range", TreeOptions{N: 8, HopMin: 100, HopMax: 50}},
+		{"negative depth scale", TreeOptions{N: 8, DepthScale: -0.5}},
+		{"infinite depth scale", TreeOptions{N: 8, DepthScale: math.Inf(1)}},
+		{"origin out of range", TreeOptions{N: 8, Origin: 8}},
+	}
+	for _, c := range cases {
+		if _, err := GenerateTree(c.opts); err == nil {
+			t.Errorf("%s: GenerateTree accepted %+v", c.name, c.opts)
+		}
+	}
+}
+
+// TestTreeParents covers the helper on non-generated topologies: explicit
+// trees re-rooted at any origin, and every way a link set can fail to be
+// a tree.
+func TestTreeParents(t *testing.T) {
+	// A path 0-1-2-3 rooted at origin 2: parents follow the re-rooting.
+	links := []Link{{A: 0, B: 1, Latency: 10}, {A: 1, B: 2, Latency: 20}, {A: 2, B: 3, Latency: 30}}
+	topo, err := New(4, links, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parent, err := topo.TreeParents()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []int{1, 2, -1, 2}; !reflect.DeepEqual(parent, want) {
+		t.Fatalf("parents = %v, want %v", parent, want)
+	}
+	m, err := topo.AncestorMatrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node 0's path to the origin is 0-1-2; node 3 is not on it.
+	if !m[0][0] || !m[0][1] || !m[0][2] || m[0][3] {
+		t.Fatalf("ancestor row for node 0 = %v", m[0])
+	}
+	if !m[2][2] || m[2][0] || m[2][1] || m[2][3] {
+		t.Fatalf("ancestor row for the origin = %v", m[2])
+	}
+
+	// A connected graph with a cycle has too many links for a tree.
+	cyc, err := New(4, []Link{{A: 0, B: 1, Latency: 1}, {A: 1, B: 2, Latency: 1}, {A: 2, B: 0, Latency: 1}, {A: 0, B: 3, Latency: 1}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cyc.TreeParents(); err == nil {
+		t.Error("cycle accepted as tree")
+	}
+	// Too many links.
+	dense, err := Generate(GenOptions{N: 12, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dense.TreeParents(); err == nil {
+		t.Error("AS graph with redundant links accepted as tree")
+	}
+	// Matrix-built topology has no link structure at all.
+	flat, err := NewFromMatrix([][]float64{{0, 5}, {5, 0}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := flat.TreeParents(); err == nil {
+		t.Error("matrix-built topology accepted as tree")
+	}
+}
