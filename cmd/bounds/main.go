@@ -39,6 +39,7 @@ func run() error {
 		workloadFlag = flag.String("workload", "web", "workload: web or group")
 		scaleFlag    = flag.String("scale", "small", "experiment scale: small, medium or large")
 		scenarioFlag = flag.String("scenario", "", "registered scenario name or spec file (overrides -workload/-scale)")
+		requestsFlag = flag.Int("requests", 0, "override the scenario's request volume (0 = keep the spec's)")
 		qosFlag      = flag.String("qos", "", "comma-separated QoS points (fractions), overriding the preset")
 		classesFlag  = flag.Bool("classes", false, "print the heuristic-class taxonomy (Table 3) and exit")
 		skipRound    = flag.Bool("skip-rounding", false, "compute LP bounds only (no tightness certificate)")
@@ -74,7 +75,7 @@ func run() error {
 				return err
 			}
 		}
-		res, err := cli.ResolveScenario(*scenarioFlag, "bounds", cli.ScenarioOptions{QoS: qos}, os.Stderr)
+		res, err := cli.ResolveScenario(*scenarioFlag, "bounds", cli.ScenarioOptions{QoS: qos, Requests: *requestsFlag}, os.Stderr)
 		if err != nil {
 			return err
 		}

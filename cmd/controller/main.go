@@ -76,11 +76,14 @@ func run(args []string, stdout io.Writer) error {
 	sys := res.System
 	counts := sys.Counts
 	if *deltaFlag > 0 {
+		if sys.Trace == nil {
+			return fmt.Errorf("-delta re-bucketing needs the raw trace; scenario %s compiled in streaming mode (counts only)", res.Spec.Name)
+		}
 		if counts, err = sys.Trace.Bucket(*deltaFlag); err != nil {
 			return err
 		}
 	}
-	counts = truncate(counts, *intervalsCap)
+	counts = truncate(counts.Dense(), *intervalsCap)
 	cfg := controller.Config{
 		Topo: sys.Topo,
 		Cost: core.DefaultCost(),
@@ -165,6 +168,9 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	if *simFlag {
+		if sys.Trace == nil {
+			return fmt.Errorf("-sim replays the raw trace; scenario %s compiled in streaming mode (counts only)", res.Spec.Name)
+		}
 		if err := scoreTrajectory(stdout, sys.Topo, sys.Trace, counts, warm, *cacheFlag, sys.Spec.Tlat); err != nil {
 			return err
 		}

@@ -53,9 +53,10 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	var (
-		topo  *topology.Topology
-		trace *workload.Trace
-		err   error
+		topo   *topology.Topology
+		trace  *workload.Trace
+		counts *workload.Counts
+		err    error
 	)
 	kindLabel := *workloadFlag
 	if *scenarioFlag != "" {
@@ -63,7 +64,9 @@ func run(args []string, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
-		topo, trace = res.System.Topo, res.System.Trace
+		// The compile already bucketed at the scenario's interval; reuse
+		// its counts so streamed (trace-less) scenarios work too.
+		topo, counts = res.System.Topo, res.System.Counts
 		// The scenario's own threshold and interval define the instance;
 		// the goal level still comes from -tqos/-avg.
 		*tlat = res.Spec.Tlat()
@@ -90,15 +93,16 @@ func run(args []string, stdout io.Writer) error {
 			return err
 		}
 	}
-	counts, err := trace.Bucket(*delta)
-	if err != nil {
-		return err
+	if counts == nil {
+		if counts, err = trace.Bucket(*delta); err != nil {
+			return err
+		}
 	}
 	goal := core.QoS(*tqos, *tlat)
 	if *avg > 0 {
 		goal = core.AvgLatency(*avg)
 	}
-	inst, err := core.NewInstance(topo, counts, core.DefaultCost(), goal)
+	inst, err := core.NewInstance(topo, counts.Dense(), core.DefaultCost(), goal)
 	if err != nil {
 		return err
 	}

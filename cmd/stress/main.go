@@ -74,6 +74,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		parallel    = fs.Int("parallel", 0, "concurrent bound solves (0 = GOMAXPROCS, 1 = serial)")
 		solveCap    = fs.Duration("solve-timeout", 0, "wall-clock cap per LP solve (0 = unlimited)")
 		verbose     = fs.Bool("v", false, "print per-bound progress (incl. solver stats) to stderr")
+		reqFlag     = fs.Int("requests", 0, "override every scenario's request volume (0 = keep each spec's; large volumes compile via the streaming path)")
 		xcheckAbove = fs.Int("xcheck-above", 250, "cross-check rungs with at least this many sites against the Lagrangian bound engine (0 = never)")
 		xcheckExact = fs.Bool("xcheck-exact", true, "on tree rungs, verify LP bound <= exact DP optimum <= certificate for every supported cell")
 		compareFlag = fs.Bool("compare", false, "diff per-size solver counters between the last two records of -bench and exit")
@@ -156,7 +157,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 				continue
 			}
 			start := time.Now()
-			res, err := cli.ResolveScenario(lad.ref, "stress", cli.ScenarioOptions{Nodes: n}, stderr)
+			res, err := cli.ResolveScenario(lad.ref, "stress", cli.ScenarioOptions{Nodes: n, Requests: *reqFlag}, stderr)
 			if err != nil {
 				return fmt.Errorf("%s at %d nodes: %w", base.Name, n, err)
 			}

@@ -1,0 +1,283 @@
+package main
+
+// The bench-trace subcommand: end-to-end measurement of the streaming
+// trace pipeline against the materialize-then-bucket baseline, appending
+// one record per run to a JSON history file (BENCH_trace.json by
+// convention, next to the solver's BENCH.json).
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"time"
+
+	"wideplace/internal/workload"
+)
+
+// phaseStats measures one aggregation strategy over the same workload.
+type phaseStats struct {
+	WallNs          int64   `json:"wallNs"`
+	RequestsPerSec  float64 `json:"requestsPerSec"`
+	PeakHeapBytes   uint64  `json:"peakHeapBytes"`
+	TotalAllocBytes uint64  `json:"totalAllocBytes"`
+}
+
+// binRecord measures the binary trace round trip.
+type binRecord struct {
+	Bytes            int64   `json:"bytes"`
+	BytesPerRequest  float64 `json:"bytesPerRequest"`
+	Sections         int     `json:"sections"`
+	WriteWallNs      int64   `json:"writeWallNs"`
+	ReadBucketWallNs int64   `json:"readBucketWallNs"`
+	Workers          int     `json:"workers"`
+}
+
+// traceRecord is one bench-trace run.
+type traceRecord struct {
+	GoVersion      string      `json:"goVersion"`
+	GOMAXPROCS     int         `json:"gomaxprocs"`
+	Scenario       string      `json:"scenario"`
+	Nodes          int         `json:"nodes"`
+	Objects        int         `json:"objects"`
+	Requests       int         `json:"requests"`
+	Intervals      int         `json:"intervals"`
+	Streaming      phaseStats  `json:"streaming"`
+	Materialized   *phaseStats `json:"materialized,omitempty"`
+	Binary         binRecord   `json:"binary"`
+	PeakReductionX float64     `json:"peakReductionX,omitempty"`
+}
+
+// measure runs f with a heap-peak sampler alongside. The runtime is GCed
+// to a quiet baseline first, so PeakHeapBytes approximates the live-heap
+// high-water mark of f alone and TotalAllocBytes its allocation volume.
+func measure(f func() error) (phaseStats, error) {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	baseAlloc := ms.TotalAlloc
+	peak := ms.HeapAlloc
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		t := time.NewTicker(2 * time.Millisecond)
+		defer t.Stop()
+		var s runtime.MemStats
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				runtime.ReadMemStats(&s)
+				if s.HeapAlloc > peak {
+					peak = s.HeapAlloc
+				}
+			}
+		}
+	}()
+	start := time.Now()
+	err := f()
+	wall := time.Since(start)
+	close(stop)
+	<-done
+	runtime.ReadMemStats(&ms)
+	if ms.HeapAlloc > peak {
+		peak = ms.HeapAlloc
+	}
+	return phaseStats{
+		WallNs:          wall.Nanoseconds(),
+		PeakHeapBytes:   peak,
+		TotalAllocBytes: ms.TotalAlloc - baseAlloc,
+	}, err
+}
+
+func benchTrace(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("bench-trace", flag.ContinueOnError)
+	ref := fs.String("scenario", "paper20-group-full", "registered scenario name or spec file")
+	requests := fs.Int("requests", 0, "override the scenario's request volume")
+	workers := fs.Int("workers", 0, "decode goroutines for the parallel bucket phase (0 = GOMAXPROCS)")
+	sections := fs.Int("sections", 0, "binary trace sections (0 = derive from volume)")
+	binPath := fs.String("bin", "", "keep the binary trace at this path (default: temp file, removed)")
+	record := fs.String("record", "", "append the run to this JSON history file")
+	gate := fs.Float64("gate", 0, "refuse to record unless peak-alloc reduction reaches this factor")
+	skipMat := fs.Bool("skip-materialized", false, "skip the materialize-then-bucket baseline (no peak comparison)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *gate > 0 && *skipMat {
+		return fmt.Errorf("bench-trace: -gate needs the materialized baseline (drop -skip-materialized)")
+	}
+	spec, err := loadSpecWithRequests(*ref, *requests)
+	if err != nil {
+		return err
+	}
+	delta := spec.Delta()
+
+	rec := traceRecord{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Scenario:   spec.Name,
+	}
+
+	// Phase 1: one-pass streaming aggregation, generator -> Counts.
+	var streamCounts *workload.Counts
+	st, err := spec.WorkloadStream()
+	if err != nil {
+		return err
+	}
+	rec.Nodes, rec.Objects, rec.Requests = st.Nodes(), st.Objects(), st.Requests()
+	rec.Streaming, err = measure(func() error {
+		var err error
+		streamCounts, err = st.Counts(delta)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	rec.Intervals = streamCounts.Intervals
+	rec.Streaming.RequestsPerSec = float64(rec.Requests) / (float64(rec.Streaming.WallNs) / 1e9)
+	fmt.Fprintf(stdout, "streaming:    %d requests -> counts in %v (%.0f requests/s, peak heap %s)\n",
+		rec.Requests, time.Duration(rec.Streaming.WallNs).Round(time.Millisecond),
+		rec.Streaming.RequestsPerSec, fmtBytes(rec.Streaming.PeakHeapBytes))
+
+	// Phase 2: persist the stream in the binary trace format.
+	path := *binPath
+	if path == "" {
+		dir, err := os.MkdirTemp("", "bench-trace-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		path = filepath.Join(dir, "trace.bin")
+	}
+	st2, err := spec.WorkloadStream()
+	if err != nil {
+		return err
+	}
+	wstart := time.Now()
+	stats, err := workload.WriteStreamBin(path, st2, *sections)
+	if err != nil {
+		return err
+	}
+	rec.Binary = binRecord{
+		Bytes:           stats.Bytes,
+		BytesPerRequest: stats.BytesPerRequest(),
+		Sections:        stats.Sections,
+		WriteWallNs:     time.Since(wstart).Nanoseconds(),
+	}
+	fmt.Fprintf(stdout, "binary write: %d bytes (%.2f bytes/request, %d sections) in %v\n",
+		stats.Bytes, stats.BytesPerRequest(), stats.Sections,
+		time.Duration(rec.Binary.WriteWallNs).Round(time.Millisecond))
+
+	// Phase 3: mmap the file back and aggregate sections in parallel.
+	r, err := workload.OpenBin(path)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	rstart := time.Now()
+	binCounts, err := r.Counts(delta, *workers)
+	if err != nil {
+		return err
+	}
+	rec.Binary.ReadBucketWallNs = time.Since(rstart).Nanoseconds()
+	w := *workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > stats.Sections {
+		w = stats.Sections
+	}
+	rec.Binary.Workers = w
+	if !binCounts.Equal(streamCounts) {
+		return fmt.Errorf("bench-trace: binary-read counts differ from streaming counts")
+	}
+	fmt.Fprintf(stdout, "binary read:  counts in %v with %d workers (%.0f requests/s), identical to streaming\n",
+		time.Duration(rec.Binary.ReadBucketWallNs).Round(time.Millisecond), w,
+		float64(rec.Requests)/(float64(rec.Binary.ReadBucketWallNs)/1e9))
+
+	// Phase 4: the baseline this pipeline replaces — materialize the full
+	// access slice, sort it, bucket it.
+	if !*skipMat {
+		var matCounts *workload.Counts
+		st3, err := spec.WorkloadStream()
+		if err != nil {
+			return err
+		}
+		mat, err := measure(func() error {
+			tr, err := st3.Materialize()
+			if err != nil {
+				return err
+			}
+			matCounts, err = tr.Bucket(delta)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		mat.RequestsPerSec = float64(rec.Requests) / (float64(mat.WallNs) / 1e9)
+		rec.Materialized = &mat
+		if !matCounts.Equal(streamCounts) {
+			return fmt.Errorf("bench-trace: materialized counts differ from streaming counts")
+		}
+		if rec.Streaming.PeakHeapBytes > 0 {
+			rec.PeakReductionX = float64(mat.PeakHeapBytes) / float64(rec.Streaming.PeakHeapBytes)
+		}
+		fmt.Fprintf(stdout, "materialized: counts in %v (%.0f requests/s, peak heap %s), identical to streaming\n",
+			time.Duration(mat.WallNs).Round(time.Millisecond), mat.RequestsPerSec, fmtBytes(mat.PeakHeapBytes))
+		fmt.Fprintf(stdout, "peak-alloc reduction: %.1fx\n", rec.PeakReductionX)
+		if *gate > 0 && rec.PeakReductionX < *gate {
+			return fmt.Errorf("bench-trace: peak-alloc reduction %.2fx below the %.2fx gate; not recording", rec.PeakReductionX, *gate)
+		}
+	}
+
+	if *record != "" {
+		if err := appendTraceRecord(*record, rec); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "recorded -> %s\n", *record)
+	}
+	return nil
+}
+
+func fmtBytes(b uint64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.2f GiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(b)/(1<<20))
+	default:
+		return fmt.Sprintf("%d B", b)
+	}
+}
+
+// appendTraceRecord extends the JSON-array history file with one record,
+// tolerating a missing or empty file.
+func appendTraceRecord(path string, rec traceRecord) error {
+	var history []json.RawMessage
+	if data, err := os.ReadFile(path); err == nil {
+		trimmed := strings.TrimSpace(string(data))
+		if trimmed != "" {
+			if err := json.Unmarshal([]byte(trimmed), &history); err != nil {
+				return fmt.Errorf("existing %s: %w", path, err)
+			}
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	raw, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	history = append(history, raw)
+	out, err := json.MarshalIndent(history, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}

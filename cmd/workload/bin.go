@@ -1,0 +1,156 @@
+package main
+
+// The gen-bin and bucket subcommands: persist a workload in the compact
+// binary trace format and aggregate it back into interval counts without
+// ever materializing the access slice.
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"wideplace/internal/scenario"
+	"wideplace/internal/workload"
+)
+
+// loadSpecWithRequests loads a scenario and applies an optional request
+// volume override. The override replaces the spec's request count exactly
+// (it is not rescaled by topology size) and is re-validated.
+func loadSpecWithRequests(ref string, requests int) (scenario.Spec, error) {
+	spec, err := scenario.Load(ref)
+	if err != nil {
+		return scenario.Spec{}, err
+	}
+	if requests > 0 {
+		spec.Workload.Requests = requests
+		if err := spec.Validate(); err != nil {
+			return scenario.Spec{}, err
+		}
+	}
+	return spec, nil
+}
+
+// genBin streams a workload into a binary trace file.
+func genBin(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("gen-bin", flag.ContinueOnError)
+	ref := fs.String("scenario", "", "registered scenario name or spec file (required)")
+	out := fs.String("out", "", "output path for the binary trace (required)")
+	sections := fs.Int("sections", 0, "time sections in the file (0 = derive from volume)")
+	requests := fs.Int("requests", 0, "override the scenario's request volume")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *ref == "" || *out == "" {
+		return fmt.Errorf("gen-bin: -scenario and -out are required")
+	}
+	spec, err := loadSpecWithRequests(*ref, *requests)
+	if err != nil {
+		return err
+	}
+	st, err := spec.WorkloadStream()
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	stats, err := workload.WriteStreamBin(*out, st, *sections)
+	if err != nil {
+		return err
+	}
+	wall := time.Since(start)
+	fmt.Fprintf(stdout, "wrote %s: %d requests in %d sections, %d bytes (%.2f bytes/request) in %v (%.0f requests/s)\n",
+		*out, stats.Requests, stats.Sections, stats.Bytes, stats.BytesPerRequest(),
+		wall.Round(time.Millisecond), float64(stats.Requests)/wall.Seconds())
+	return nil
+}
+
+// bucketBin aggregates a binary trace into interval counts, optionally
+// verifying the parallel streamed aggregation against the materialized
+// path and against the scenario's in-memory streaming path.
+func bucketBin(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("bucket", flag.ContinueOnError)
+	bin := fs.String("bin", "", "binary trace file (required)")
+	delta := fs.Duration("delta", time.Hour, "evaluation interval (ignored with -scenario, which supplies its own)")
+	workers := fs.Int("workers", 0, "decode goroutines (0 = GOMAXPROCS)")
+	verify := fs.Bool("verify", false, "differentially check against materialize-then-bucket")
+	ref := fs.String("scenario", "", "also diff the counts against this scenario's in-memory streaming aggregation")
+	out := fs.String("out", "", "write the counts in canonical binary form here")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *bin == "" {
+		return fmt.Errorf("bucket: -bin is required")
+	}
+	var spec scenario.Spec
+	if *ref != "" {
+		var err error
+		if spec, err = scenario.Load(*ref); err != nil {
+			return err
+		}
+		*delta = spec.Delta()
+	}
+	r, err := workload.OpenBin(*bin)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	start := time.Now()
+	counts, err := r.Counts(*delta, *workers)
+	if err != nil {
+		return err
+	}
+	wall := time.Since(start)
+	repr := "dense"
+	if counts.IsSparse() {
+		nr, nw := counts.NNZ()
+		repr = fmt.Sprintf("sparse, %d nonzero cells", nr+nw)
+	}
+	fmt.Fprintf(stdout, "bucketed %s: %d requests -> %d x %d x %d counts (%s) in %v (%.0f requests/s)\n",
+		*bin, r.NumRequests, r.NumNodes, counts.Intervals, r.NumObjects, repr,
+		wall.Round(time.Millisecond), float64(r.NumRequests)/wall.Seconds())
+
+	if *verify {
+		tr, err := r.Trace()
+		if err != nil {
+			return err
+		}
+		want, err := tr.Bucket(*delta)
+		if err != nil {
+			return err
+		}
+		if !counts.Equal(want) {
+			return fmt.Errorf("bucket: parallel streamed counts differ from materialize-then-bucket")
+		}
+		fmt.Fprintln(stdout, "verify: counts identical to the materialized path")
+	}
+	if *ref != "" {
+		st, err := spec.WorkloadStream()
+		if err != nil {
+			return err
+		}
+		want, err := st.Counts(*delta)
+		if err != nil {
+			return err
+		}
+		if !counts.Equal(want) {
+			return fmt.Errorf("bucket: counts differ from scenario %s's in-memory streaming aggregation", spec.Name)
+		}
+		fmt.Fprintf(stdout, "verify: counts identical to scenario %s's streaming aggregation\n", spec.Name)
+	}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		if err := counts.EncodeBinary(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "counts -> %s\n", *out)
+	}
+	return nil
+}

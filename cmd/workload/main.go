@@ -12,6 +12,14 @@
 //	workload scenarios                          # list the scenario registry
 //	workload compile -scenario flash-crowd      # materialize + self-check a scenario
 //	workload compile -scenario spec.json -topo topo.json -trace trace.json
+//	workload gen-bin -scenario paper20-group-full -out group.trace
+//	workload bucket -bin group.trace -verify    # parallel aggregate + differential check
+//	workload bench-trace -record BENCH_trace.json
+//
+// gen-bin, bucket and bench-trace are the streaming trace pipeline: they
+// persist a workload in the compact binary trace format, aggregate it
+// into interval counts without materializing the access slice, and
+// benchmark the streamed path against the materialize-then-bucket one.
 package main
 
 import (
@@ -35,7 +43,7 @@ func main() {
 
 func run(args []string, stdout io.Writer) error {
 	if len(args) == 0 {
-		return fmt.Errorf("need a subcommand: gen-topology, gen-trace, describe, scenarios or compile")
+		return fmt.Errorf("need a subcommand: gen-topology, gen-trace, describe, scenarios, compile, gen-bin, bucket or bench-trace")
 	}
 	switch args[0] {
 	case "gen-topology":
@@ -48,6 +56,12 @@ func run(args []string, stdout io.Writer) error {
 		return listScenarios(stdout)
 	case "compile":
 		return compileScenario(args[1:], stdout)
+	case "gen-bin":
+		return genBin(args[1:], stdout)
+	case "bucket":
+		return bucketBin(args[1:], stdout)
+	case "bench-trace":
+		return benchTrace(args[1:], stdout)
 	default:
 		return fmt.Errorf("unknown subcommand %q", args[0])
 	}
@@ -69,6 +83,7 @@ func compileScenario(args []string, stdout io.Writer) error {
 	ref := fs.String("scenario", "", "registered scenario name or spec file (required)")
 	topoOut := fs.String("topo", "", "also write the generated topology JSON here")
 	traceOut := fs.String("trace", "", "also write the generated trace JSON here")
+	stream := fs.Bool("stream", false, "force the streaming (counts-only) compile path")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -79,7 +94,11 @@ func compileScenario(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	res, err := scenario.Compile(spec)
+	opts := scenario.CompileOptions{}
+	if *stream {
+		opts.Streaming = scenario.StreamOn
+	}
+	res, err := scenario.CompileWith(spec, opts)
 	if err != nil {
 		return err
 	}
@@ -87,8 +106,12 @@ func compileScenario(args []string, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "scenario:    %s (%s)\n", spec.Name, spec.Description)
 	fmt.Fprintf(stdout, "fingerprint: %s\n", res.Fingerprint)
 	fmt.Fprintf(stdout, "topology:    %s, %d nodes\n", spec.Topology.Model, sys.Topo.N)
-	fmt.Fprintf(stdout, "workload:    %s, %d objects, %d requests over %v in %d intervals\n",
-		spec.Workload.Model, sys.Trace.NumObjects, len(sys.Trace.Accesses), sys.Trace.Duration, sys.Counts.Intervals)
+	mode := "materialized"
+	if res.Streamed {
+		mode = "streamed"
+	}
+	fmt.Fprintf(stdout, "workload:    %s, %d objects, %d requests over %v in %d intervals (%s)\n",
+		spec.Workload.Model, sys.Spec.Objects, sys.Spec.Requests, sys.Spec.Horizon, sys.Counts.Intervals, mode)
 	fmt.Fprintf(stdout, "goal:        qos %v within %g ms\n", spec.QoS, spec.Tlat())
 	names := make([]string, len(res.Classes))
 	for i, c := range res.Classes {
@@ -104,6 +127,9 @@ func compileScenario(args []string, stdout io.Writer) error {
 		}
 	}
 	if *traceOut != "" {
+		if sys.Trace == nil {
+			return fmt.Errorf("compile: -trace export needs a materialized trace; this compile streamed (use gen-bin for large workloads)")
+		}
 		if err := writeArtifact(*traceOut, sys.Trace.Write); err != nil {
 			return err
 		}
@@ -160,21 +186,18 @@ func genTrace(args []string, stdout io.Writer) error {
 	case "web":
 		tr, err = workload.GenerateWeb(workload.WebOptions{
 			Nodes: *nodes, Objects: *objects, Requests: *requests,
-			Duration: *horizon, Seed: *seed, ZipfS: *zipf,
+			Duration: *horizon, Seed: *seed, ZipfS: *zipf, WriteFraction: *writes,
 		})
 	case "group":
 		tr, err = workload.GenerateGroup(workload.GroupOptions{
 			Nodes: *nodes, Objects: *objects, Requests: *requests,
-			Duration: *horizon, Seed: *seed,
+			Duration: *horizon, Seed: *seed, WriteFraction: *writes,
 		})
 	default:
 		return fmt.Errorf("unknown workload %q", *kind)
 	}
 	if err != nil {
 		return err
-	}
-	if *writes > 0 {
-		tr = workload.AddWrites(tr, *writes, *seed)
 	}
 	return tr.Write(stdout)
 }

@@ -26,6 +26,13 @@ type ScenarioOptions struct {
 	// Nodes rescales the spec to this node count with Spec.WithNodes
 	// (0 keeps the spec's size).
 	Nodes int
+	// Requests overrides the workload's request volume exactly (0 keeps
+	// the spec's). Applied after the Nodes rescale, so an explicit volume
+	// wins over the proportional one.
+	Requests int
+	// Streaming forces the compile path (default StreamAuto: stream past
+	// scenario.StreamingThreshold, materialize below it).
+	Streaming scenario.StreamingMode
 }
 
 // ResolveScenario loads a scenario by reference (builtin name or spec
@@ -44,7 +51,16 @@ func ResolveScenario(ref, tool string, opts ScenarioOptions, warnw io.Writer) (*
 	if opts.Nodes > 0 {
 		scn = scn.WithNodes(opts.Nodes)
 	}
-	res, err := scenario.Compile(scn)
+	if opts.Requests < 0 {
+		return nil, fmt.Errorf("request volume override must be positive, got %d", opts.Requests)
+	}
+	if opts.Requests > 0 {
+		scn.Workload.Requests = opts.Requests
+		if err := scn.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	res, err := scenario.CompileWith(scn, scenario.CompileOptions{Streaming: opts.Streaming})
 	if err != nil {
 		return nil, err
 	}

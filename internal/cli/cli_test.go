@@ -32,6 +32,19 @@ func TestSignalContextStopRestores(t *testing.T) {
 	}
 }
 
+func TestResolveScenarioRequestsOverride(t *testing.T) {
+	if _, err := ResolveScenario("flash-crowd", "test", ScenarioOptions{Requests: -5}, nil); err == nil {
+		t.Fatal("negative request volume accepted")
+	}
+	res, err := ResolveScenario("flash-crowd", "test", ScenarioOptions{Requests: 500}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Spec.Workload.Requests; got != 500 {
+		t.Fatalf("override compiled %d requests, want 500", got)
+	}
+}
+
 func TestProgress(t *testing.T) {
 	if p := Progress(false, nil); p != nil {
 		t.Fatal("quiet mode should return a nil progress (no per-event cost)")

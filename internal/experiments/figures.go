@@ -153,6 +153,9 @@ type Figure2Result struct {
 // caching. The three tasks per QoS level (class bound, chosen-heuristic
 // tuning, LRU tuning) are independent and fan out across workers.
 func Figure2(sys *System, opts Options, progress Progress) (*Figure2Result, error) {
+	if sys.Trace == nil {
+		return nil, errors.New("experiments: Figure2 replays the raw trace; streamed systems carry only counts")
+	}
 	var boundClass *core.Class
 	if sys.Spec.Workload == GROUP {
 		boundClass = core.ReplicaConstrained()
@@ -282,6 +285,9 @@ type Figure3Result struct {
 // the reduced topology. Phase 1 is a single solve; phase 2 fans out like
 // Figure 1.
 func Figure3(sys *System, opts Options, progress Progress) (*Figure3Result, error) {
+	if sys.Trace == nil {
+		return nil, errors.New("experiments: Figure3 re-buckets the raw trace per deployment; streamed systems carry only counts")
+	}
 	planQoS := sys.Spec.QoSPoints[0]
 	dep, err := core.PlanDeployment(sys.Topo, sys.Trace, sys.Spec.Delta,
 		core.DefaultCost(), core.QoS(planQoS, sys.Spec.Tlat), sys.Spec.Zeta, nil,

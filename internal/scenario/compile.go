@@ -22,7 +22,9 @@ type Result struct {
 	// are folded in — re-compiling it reproduces the system exactly).
 	Spec Spec
 	// System is the materialized topology + trace + bucketed counts,
-	// ready for the experiments sweep engine.
+	// ready for the experiments sweep engine. When Streamed is set,
+	// System.Trace is nil: the counts were aggregated in one pass and no
+	// per-access record exists.
 	System *experiments.System
 	// Classes are the resolved heuristic classes in spec order.
 	Classes []*core.Class
@@ -33,15 +35,57 @@ type Result struct {
 	// Fingerprint is the SHA-256 of the canonical serialized system (see
 	// Fingerprint); two compiles of one spec always agree on it.
 	Fingerprint string
+	// Streamed reports that the workload was aggregated without
+	// materializing the trace.
+	Streamed bool
 }
 
-// Compile materializes a spec deterministically: it generates the
+// StreamingMode selects how CompileWith builds the workload counts.
+type StreamingMode int
+
+const (
+	// StreamAuto streams when the request volume reaches
+	// StreamingThreshold and materializes below it.
+	StreamAuto StreamingMode = iota
+	// StreamOff always materializes the trace.
+	StreamOff
+	// StreamOn always streams, whatever the size.
+	StreamOn
+)
+
+// StreamingThreshold is the request volume at which StreamAuto switches
+// from materializing the trace to one-pass streaming aggregation. Below
+// it the raw trace is cheap (a 1M-request trace is ~32 MB) and keeping it
+// enables the simulator and trace export; at the paper's full 16M-request
+// GROUP volume the trace alone would be ~512 MB plus sort space, so the
+// compile streams straight into Counts.
+const StreamingThreshold = 4_000_000
+
+// CompileOptions tunes Compile behavior.
+type CompileOptions struct {
+	Streaming StreamingMode
+}
+
+// Compile materializes a spec deterministically with automatic streaming
+// (see CompileWith).
+func Compile(spec Spec) (*Result, error) {
+	return CompileWith(spec, CompileOptions{})
+}
+
+// CompileWith materializes a spec deterministically: it generates the
 // topology and trace from the spec's seeds, buckets the trace, resolves
 // the heuristic classes and self-checks the whole system — finite
 // latencies, trace/topology dimension agreement, and attainability of the
 // loosest QoS goal (every listed class under RequireAllClasses, at least
 // one otherwise; the rest surface as warnings).
-func Compile(spec Spec) (*Result, error) {
+//
+// Large workloads (StreamAuto past StreamingThreshold, or StreamOn)
+// stream: the generator's access sequence is aggregated into Counts in
+// one pass and System.Trace stays nil. The counts are identical to the
+// materialize-then-Bucket path — the streaming aggregator consumes the
+// same deterministic sequence — so every counts-based consumer sees the
+// same system either way.
+func CompileWith(spec Spec, opts CompileOptions) (*Result, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -49,17 +93,41 @@ func Compile(spec Spec) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("scenario %s: topology: %w", spec.Name, err)
 	}
-	trace, err := spec.buildTrace()
+
+	st, err := spec.WorkloadStream()
 	if err != nil {
 		return nil, fmt.Errorf("scenario %s: workload: %w", spec.Name, err)
 	}
-
-	// Self-check: dimensions and latency sanity. The generators already
-	// promise both, but a scenario is the trust boundary for every
-	// downstream consumer, so the compiled artifact re-verifies instead
-	// of assuming.
-	if topo.N != trace.NumNodes {
-		return nil, fmt.Errorf("scenario %s: topology has %d nodes, trace has %d", spec.Name, topo.N, trace.NumNodes)
+	// Self-check: dimension agreement. The generators already promise it,
+	// but a scenario is the trust boundary for every downstream consumer,
+	// so the compiled artifact re-verifies instead of assuming.
+	if topo.N != st.Nodes() {
+		return nil, fmt.Errorf("scenario %s: topology has %d nodes, workload has %d", spec.Name, topo.N, st.Nodes())
+	}
+	requests, objects, horizon := st.Requests(), st.Objects(), st.Duration()
+	stream := opts.Streaming == StreamOn ||
+		(opts.Streaming == StreamAuto && requests >= StreamingThreshold)
+	var (
+		trace  *workload.Trace
+		counts *workload.Counts
+	)
+	if stream {
+		counts, err = st.Counts(spec.Delta())
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: %w", spec.Name, err)
+		}
+	} else {
+		trace, err = st.Materialize()
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: workload: %w", spec.Name, err)
+		}
+		if err := trace.Validate(); err != nil {
+			return nil, fmt.Errorf("scenario %s: %w", spec.Name, err)
+		}
+		counts, err = trace.Bucket(spec.Delta())
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: %w", spec.Name, err)
+		}
 	}
 	for i := range topo.Latency {
 		for j, v := range topo.Latency[i] {
@@ -68,14 +136,7 @@ func Compile(spec Spec) (*Result, error) {
 			}
 		}
 	}
-	if err := trace.Validate(); err != nil {
-		return nil, fmt.Errorf("scenario %s: %w", spec.Name, err)
-	}
 
-	counts, err := trace.Bucket(spec.Delta())
-	if err != nil {
-		return nil, fmt.Errorf("scenario %s: %w", spec.Name, err)
-	}
 	zeta := spec.Zeta
 	if zeta == 0 {
 		zeta = defaultZeta
@@ -84,9 +145,9 @@ func Compile(spec Spec) (*Result, error) {
 		Spec: experiments.Spec{
 			Workload:  experiments.WorkloadKind(spec.Workload.Model),
 			Nodes:     topo.N,
-			Objects:   trace.NumObjects,
-			Requests:  len(trace.Accesses),
-			Horizon:   trace.Duration,
+			Objects:   objects,
+			Requests:  requests,
+			Horizon:   horizon,
 			Delta:     spec.Delta(),
 			Seed:      spec.Seed,
 			Tlat:      spec.Tlat(),
@@ -117,6 +178,7 @@ func Compile(spec Spec) (*Result, error) {
 		Classes:     classes,
 		Warnings:    warnings,
 		Fingerprint: fp,
+		Streamed:    stream,
 	}, nil
 }
 
@@ -151,53 +213,60 @@ func (s *Spec) buildTopology() (*topology.Topology, error) {
 	}
 }
 
-// buildTrace dispatches to the workload model's generator.
-func (s *Spec) buildTrace() (*workload.Trace, error) {
+// WorkloadStream opens the spec's workload as an unconsumed access
+// stream. Both compile paths are built on it — the materialized path is
+// WorkloadStream + Materialize — so the generated sequence is identical
+// by construction whichever way the counts are produced. Writes are
+// flagged during generation (the WriteFraction knob of the generator
+// options), so no second trace copy exists on either path.
+func (s *Spec) WorkloadStream() (*workload.Stream, error) {
 	w := &s.Workload
 	horizon := time.Duration(w.HorizonMillis) * time.Millisecond
 	if horizon == 0 {
 		horizon = defaultHorizon
 	}
-	var (
-		tr  *workload.Trace
-		err error
-	)
 	switch w.Model {
 	case WorkWeb:
-		tr, err = workload.GenerateWeb(workload.WebOptions{
+		return workload.StreamWeb(workload.WebOptions{
 			Nodes: s.Nodes(), Objects: w.Objects, Requests: w.Requests,
 			Duration: horizon, Seed: s.workSeed(), ZipfS: w.ZipfS, NodeSkew: w.NodeSkew,
+			WriteFraction: w.WriteFraction,
 		})
 	case WorkGroup:
-		tr, err = workload.GenerateGroup(workload.GroupOptions{
+		return workload.StreamGroup(workload.GroupOptions{
 			Nodes: s.Nodes(), Objects: w.Objects, Requests: w.Requests,
 			Duration: horizon, Seed: s.workSeed(), MinPop: w.MinPop, MaxPop: w.MaxPop,
+			WriteFraction: w.WriteFraction,
 		})
 	case WorkFlashCrowd:
-		tr, err = workload.GenerateFlashCrowd(workload.FlashCrowdOptions{
+		return workload.StreamFlashCrowd(workload.FlashCrowdOptions{
 			Nodes: s.Nodes(), Objects: w.Objects, Requests: w.Requests,
 			Duration: horizon, Seed: s.workSeed(), ZipfS: w.ZipfS, NodeSkew: w.NodeSkew,
 			CrowdShare: w.CrowdShare, HotObjects: w.HotObjects,
-			CrowdStart: time.Duration(w.CrowdStartMillis) * time.Millisecond,
-			CrowdWidth: time.Duration(w.CrowdWidthMillis) * time.Millisecond,
+			CrowdStart:    time.Duration(w.CrowdStartMillis) * time.Millisecond,
+			CrowdWidth:    time.Duration(w.CrowdWidthMillis) * time.Millisecond,
+			WriteFraction: w.WriteFraction,
 		})
 	case WorkDiurnal:
-		tr, err = workload.GenerateDiurnal(workload.DiurnalOptions{
+		return workload.StreamDiurnal(workload.DiurnalOptions{
 			Nodes: s.Nodes(), Objects: w.Objects, Requests: w.Requests,
 			Duration: horizon, Seed: s.workSeed(), ZipfS: w.ZipfS,
-			Zones: w.Zones, NightFloor: w.NightFloor, ObjectDrift: w.ObjectDrift,
-			Period: time.Duration(w.PeriodMillis) * time.Millisecond,
+			Zones: s.Workload.Zones, NightFloor: w.NightFloor, ObjectDrift: w.ObjectDrift,
+			Period:        time.Duration(w.PeriodMillis) * time.Millisecond,
+			WriteFraction: w.WriteFraction,
 		})
 	default:
 		return nil, fmt.Errorf("unknown workload model %q", w.Model)
 	}
+}
+
+// buildTrace materializes the workload stream into a sorted trace.
+func (s *Spec) buildTrace() (*workload.Trace, error) {
+	st, err := s.WorkloadStream()
 	if err != nil {
 		return nil, err
 	}
-	if w.WriteFraction > 0 {
-		tr = workload.AddWrites(tr, w.WriteFraction, s.workSeed())
-	}
-	return tr, nil
+	return st.Materialize()
 }
 
 // resolveClasses materializes the spec's class list for the topology.
@@ -260,13 +329,20 @@ func selfCheckAttainability(spec Spec, sys *experiments.System, classes []*core.
 // asked. Provenance fields (workload kind, seeds, generator knobs) stay
 // out so two routes to the same system — a preset and its scenario
 // translation — fingerprint identically.
+//
+// Streamed systems have no Trace. They hash CountsDigest — the SHA-256 of
+// the counts' canonical binary encoding — instead, leaving Trace null, so
+// a streamed document can never collide with a materialized one of the
+// same topology (the field sets differ) and two streamed compiles agree
+// whatever internal representation (dense or CSR) the aggregator chose.
 type fingerprintDoc struct {
-	DeltaNanos int64              `json:"deltaNanos"`
-	Tlat       float64            `json:"tlat"`
-	QoS        []float64          `json:"qos"`
-	Zeta       float64            `json:"zeta"`
-	Topology   *topology.Topology `json:"topology"`
-	Trace      *workload.Trace    `json:"trace"`
+	DeltaNanos   int64              `json:"deltaNanos"`
+	Tlat         float64            `json:"tlat"`
+	QoS          []float64          `json:"qos"`
+	Zeta         float64            `json:"zeta"`
+	Topology     *topology.Topology `json:"topology"`
+	Trace        *workload.Trace    `json:"trace"`
+	CountsDigest string             `json:"countsDigest,omitempty"`
 }
 
 // Fingerprint returns the SHA-256 content address of a materialized
@@ -274,14 +350,25 @@ type fingerprintDoc struct {
 // fingerprint — the determinism contract of the scenario layer, enforced
 // by tests over every registered scenario.
 func Fingerprint(sys *experiments.System) (string, error) {
-	raw, err := json.Marshal(fingerprintDoc{
+	doc := fingerprintDoc{
 		DeltaNanos: sys.Spec.Delta.Nanoseconds(),
 		Tlat:       sys.Spec.Tlat,
 		QoS:        sys.Spec.QoSPoints,
 		Zeta:       sys.Spec.Zeta,
 		Topology:   sys.Topo,
 		Trace:      sys.Trace,
-	})
+	}
+	if sys.Trace == nil {
+		if sys.Counts == nil {
+			return "", errors.New("scenario: system has neither trace nor counts")
+		}
+		h := sha256.New()
+		if err := sys.Counts.EncodeBinary(h); err != nil {
+			return "", err
+		}
+		doc.CountsDigest = hex.EncodeToString(h.Sum(nil))
+	}
+	raw, err := json.Marshal(doc)
 	if err != nil {
 		return "", err
 	}

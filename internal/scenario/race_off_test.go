@@ -1,0 +1,7 @@
+//go:build !race
+
+package scenario
+
+// raceEnabled lets tests skip work that is prohibitively slow under the
+// race detector (the 16M-request materialization differential).
+const raceEnabled = false

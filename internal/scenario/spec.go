@@ -99,8 +99,9 @@ type WorkloadSpec struct {
 	ZipfS float64 `json:"zipfS,omitempty"`
 	// NodeSkew is the per-site activity exponent (web, flash-crowd).
 	NodeSkew float64 `json:"nodeSkew,omitempty"`
-	// WriteFraction turns that fraction of accesses into writes
-	// (workload.AddWrites), for the update-cost extension.
+	// WriteFraction flags that fraction of accesses as writes during
+	// generation (the generators' WriteFraction knob), for the
+	// update-cost extension.
 	WriteFraction float64 `json:"writeFraction,omitempty"`
 	// MinPop/MaxPop are the group model's popularity range.
 	MinPop float64 `json:"minPop,omitempty"`
@@ -313,6 +314,12 @@ func (s *Spec) validateWorkload() error {
 	w := &s.Workload
 	if w.Objects < 0 || w.Requests < 0 || w.HorizonMillis < 0 || w.HotObjects < 0 || w.Zones < 0 || w.PeriodMillis < 0 {
 		return fmt.Errorf("scenario %s: workload counts must not be negative", s.Name)
+	}
+	// The binary trace format and the streaming aggregator pack ids and
+	// per-cell counts into 32 bits; a spec past this volume could not be
+	// persisted or differentially verified, so reject it up front.
+	if w.Requests > math.MaxInt32 {
+		return fmt.Errorf("scenario %s: workload.requests %d exceeds the supported maximum %d", s.Name, w.Requests, math.MaxInt32)
 	}
 	for _, f := range []struct {
 		name string

@@ -1,0 +1,88 @@
+package scenario
+
+import (
+	"testing"
+)
+
+// TestStreamedCompileMatchesMaterialized is the end-to-end differential of
+// the streaming compile path: for every registered builtin, forcing the
+// one-pass streamed aggregation must yield Counts byte-identical (after
+// canonical serialization, via Counts.Equal) to materialize-then-Bucket.
+//
+// The full-volume 16M-request builtin materializes ~512MB of accesses on
+// the StreamOff side, so it is skipped in -short mode and under the race
+// detector (raceEnabled, see race_on_test.go / race_off_test.go).
+func TestStreamedCompileMatchesMaterialized(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			spec, err := Get(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if spec.Workload.Requests >= StreamingThreshold && (testing.Short() || raceEnabled) {
+				t.Skipf("skipping the %d-request materialization in short/race mode", spec.Workload.Requests)
+			}
+			t.Parallel()
+			streamed, err := CompileWith(spec, CompileOptions{Streaming: StreamOn})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !streamed.Streamed {
+				t.Fatal("StreamOn compile not marked Streamed")
+			}
+			if streamed.System.Trace != nil {
+				t.Fatal("streamed compile retained the raw trace")
+			}
+			materialized, err := CompileWith(spec, CompileOptions{Streaming: StreamOff})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if materialized.Streamed {
+				t.Fatal("StreamOff compile marked Streamed")
+			}
+			if materialized.System.Trace == nil {
+				t.Fatal("materialized compile dropped the trace")
+			}
+			if !streamed.System.Counts.Equal(materialized.System.Counts) {
+				t.Fatal("streamed counts differ from materialize-then-bucket")
+			}
+		})
+	}
+}
+
+// TestStreamAutoThreshold: the auto mode must stream at and above the
+// threshold and materialize below it.
+func TestStreamAutoThreshold(t *testing.T) {
+	spec, err := Get("flash-crowd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := CompileWith(spec, CompileOptions{}) // StreamAuto
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Streamed {
+		t.Errorf("%d requests streamed below the %d threshold", spec.Workload.Requests, StreamingThreshold)
+	}
+	full, err := Get("paper20-group-full")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Workload.Requests < StreamingThreshold {
+		t.Fatalf("paper20-group-full volume %d under the streaming threshold", full.Workload.Requests)
+	}
+	if testing.Short() {
+		t.Skip("skipping the 16M-request streamed compile in short mode")
+	}
+	res, err = CompileWith(full, CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Streamed {
+		t.Error("full-volume scenario did not stream under StreamAuto")
+	}
+	if res.Fingerprint == "" {
+		t.Error("streamed compile produced no fingerprint")
+	}
+}

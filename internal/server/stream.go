@@ -103,6 +103,11 @@ func (s *Server) handleControllerStream(w http.ResponseWriter, r *http.Request) 
 	sys := res.System
 	counts := sys.Counts
 	if req.DeltaMillis > 0 {
+		if sys.Trace == nil {
+			writeError(w, http.StatusBadRequest,
+				"deltaMillis re-bucketing needs the raw trace; this scenario compiled in streaming mode (counts only)")
+			return
+		}
 		if counts, err = sys.Trace.Bucket(time.Duration(req.DeltaMillis) * time.Millisecond); err != nil {
 			writeError(w, http.StatusBadRequest, err.Error())
 			return

@@ -1,0 +1,731 @@
+package workload
+
+// The compact binary trace format. A .trace file is a sectioned layout
+// built for mmap consumption:
+//
+//	header (48 bytes, little-endian):
+//	  "WPTB" | version u16 | flags u16 | nodes u32 | objects u32 |
+//	  sections u32 | reserved u32 | requests u64 | durationNanos u64 |
+//	  sectionNanos u64
+//	payload: per section, its accesses in time order, each encoded as
+//	  uvarint(at - prev)          delta from the previous access (the
+//	                              first is relative to the section start)
+//	  uvarint(node<<1 | write)    site id with the write flag in bit 0
+//	  uvarint(object)
+//	index: sections x { payloadOffset u64, count u64 } fixed entries
+//	trailer (16 bytes): indexOffset u64 | crc32 u32 | "BTPW"
+//
+// Sections partition the horizon into equal time slices (the last absorbs
+// the remainder), so a reader can aggregate intervals in parallel: each
+// worker decodes a contiguous section range independently. Delta-encoded
+// timestamps plus varint ids land around 6-8 bytes per request for the
+// paper's GROUP workload, against 32 bytes per Access in memory and ~45
+// bytes in the JSON trace format. The CRC covers everything before it.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"time"
+)
+
+const (
+	binMagic        = "WPTB"
+	binTrailerMagic = "BTPW"
+	binVersion      = 1
+	binHeaderSize   = 48
+	binTrailerSize  = 16
+	binIndexEntry   = 16
+	// binMaxID bounds node and object ids so node<<1 cannot overflow and a
+	// hostile header cannot demand absurd allocations.
+	binMaxID = 1 << 30
+	// binSectionTarget is the aimed-for accesses per section; the writer
+	// derives the section count from it (clamped to [1, binMaxSections]).
+	binSectionTarget = 1 << 18
+	binMaxSections   = 256
+	// spillRecordSize is the fixed on-disk size of one access in the
+	// writer's temporary per-section spill files.
+	spillRecordSize = 16
+)
+
+// BinStats reports what a binary trace write produced.
+type BinStats struct {
+	Requests int
+	Sections int
+	Bytes    int64
+}
+
+// BytesPerRequest is the on-disk footprint per access.
+func (s BinStats) BytesPerRequest() float64 {
+	if s.Requests == 0 {
+		return 0
+	}
+	return float64(s.Bytes) / float64(s.Requests)
+}
+
+// defaultSections derives the section count from the request volume.
+func defaultSections(requests int) int {
+	s := requests / binSectionTarget
+	if s < 1 {
+		s = 1
+	}
+	if s > binMaxSections {
+		s = binMaxSections
+	}
+	return s
+}
+
+func binDims(nodes, objects int, duration time.Duration) error {
+	if nodes <= 0 || objects <= 0 {
+		return errors.New("workload: trace needs at least one node and object")
+	}
+	if nodes >= binMaxID || objects >= binMaxID {
+		return fmt.Errorf("workload: node/object counts must stay under %d for the binary format", binMaxID)
+	}
+	if duration <= 0 {
+		return errors.New("workload: trace duration must be positive")
+	}
+	return nil
+}
+
+// crcCountWriter tees writes into a CRC and counts bytes, so offsets and
+// the trailer checksum fall out of one sequential pass. The checksum is a
+// plain uint32 updated with crc32.Update — routing it through a hash.Hash32
+// would make every caller's varint scratch buffer escape to the heap, one
+// allocation per access.
+type crcCountWriter struct {
+	w   *bufio.Writer
+	crc uint32
+	n   int64
+}
+
+func (c *crcCountWriter) Write(p []byte) (int, error) {
+	c.crc = crc32.Update(c.crc, crc32.IEEETable, p)
+	c.n += int64(len(p))
+	return c.w.Write(p)
+}
+
+type binIndexEntryVal struct {
+	off   int64
+	count int64
+}
+
+// binWriter emits the sectioned layout sequentially.
+type binWriter struct {
+	out          *crcCountWriter
+	nodes        int
+	objects      int
+	duration     time.Duration
+	sectionNanos int64
+	index        []binIndexEntryVal
+	requests     int64
+	// encoding state of the currently open section
+	cur     int
+	prev    int64
+	started bool
+	// scratch is the reusable varint encode buffer for one access; a
+	// per-call stack buffer would escape through the writer interfaces and
+	// cost one heap allocation per access.
+	scratch [3 * binary.MaxVarintLen64]byte
+}
+
+func newBinWriter(w io.Writer, nodes, objects int, requests int, duration time.Duration, sections int) (*binWriter, error) {
+	if err := binDims(nodes, objects, duration); err != nil {
+		return nil, err
+	}
+	if sections <= 0 {
+		sections = defaultSections(requests)
+	}
+	if sections > binMaxSections {
+		sections = binMaxSections
+	}
+	sectionNanos := (duration.Nanoseconds() + int64(sections) - 1) / int64(sections)
+	bw := &binWriter{
+		out:          &crcCountWriter{w: bufio.NewWriterSize(w, 1<<16)},
+		nodes:        nodes,
+		objects:      objects,
+		duration:     duration,
+		sectionNanos: sectionNanos,
+		index:        make([]binIndexEntryVal, sections),
+		cur:          -1,
+	}
+	var hdr [binHeaderSize]byte
+	copy(hdr[0:4], binMagic)
+	binary.LittleEndian.PutUint16(hdr[4:6], binVersion)
+	binary.LittleEndian.PutUint16(hdr[6:8], 0)
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(nodes))
+	binary.LittleEndian.PutUint32(hdr[12:16], uint32(objects))
+	binary.LittleEndian.PutUint32(hdr[16:20], uint32(sections))
+	binary.LittleEndian.PutUint32(hdr[20:24], 0)
+	binary.LittleEndian.PutUint64(hdr[24:32], uint64(requests))
+	binary.LittleEndian.PutUint64(hdr[32:40], uint64(duration.Nanoseconds()))
+	binary.LittleEndian.PutUint64(hdr[40:48], uint64(sectionNanos))
+	if _, err := bw.out.Write(hdr[:]); err != nil {
+		return nil, err
+	}
+	return bw, nil
+}
+
+func (b *binWriter) sectionFor(at time.Duration) int {
+	s := int(at.Nanoseconds() / b.sectionNanos)
+	if s >= len(b.index) {
+		s = len(b.index) - 1
+	}
+	return s
+}
+
+// add appends one access. Accesses must arrive in global time order (ties
+// in any order) — exactly what a sorted Trace or a sorted section yields.
+func (b *binWriter) add(a Access) error {
+	if a.At < 0 || a.At >= b.duration {
+		return fmt.Errorf("workload: access at %v outside horizon %v", a.At, b.duration)
+	}
+	if a.Node < 0 || a.Node >= b.nodes || a.Object < 0 || a.Object >= b.objects {
+		return fmt.Errorf("workload: access (%d, %d) out of range", a.Node, a.Object)
+	}
+	s := b.sectionFor(a.At)
+	if s < b.cur {
+		return errors.New("workload: binary writer fed accesses out of time order")
+	}
+	if s > b.cur {
+		for next := b.cur + 1; next <= s; next++ {
+			b.index[next] = binIndexEntryVal{off: b.out.n}
+		}
+		b.cur = s
+		b.prev = int64(s) * b.sectionNanos
+	}
+	at := a.At.Nanoseconds()
+	if at < b.prev {
+		return errors.New("workload: binary writer fed accesses out of time order")
+	}
+	w := uint64(0)
+	if a.Write {
+		w = 1
+	}
+	n := binary.PutUvarint(b.scratch[:], uint64(at-b.prev))
+	n += binary.PutUvarint(b.scratch[n:], uint64(a.Node)<<1|w)
+	n += binary.PutUvarint(b.scratch[n:], uint64(a.Object))
+	if _, err := b.out.Write(b.scratch[:n]); err != nil {
+		return err
+	}
+	b.prev = at
+	b.index[b.cur].count++
+	b.requests++
+	return nil
+}
+
+// finish writes the index and trailer and flushes.
+func (b *binWriter) finish() (BinStats, error) {
+	for next := b.cur + 1; next < len(b.index); next++ {
+		b.index[next] = binIndexEntryVal{off: b.out.n}
+	}
+	indexOff := b.out.n
+	var ent [binIndexEntry]byte
+	for _, e := range b.index {
+		binary.LittleEndian.PutUint64(ent[0:8], uint64(e.off))
+		binary.LittleEndian.PutUint64(ent[8:16], uint64(e.count))
+		if _, err := b.out.Write(ent[:]); err != nil {
+			return BinStats{}, err
+		}
+	}
+	// The CRC covers header, payload, index and the index offset.
+	var offBuf [8]byte
+	binary.LittleEndian.PutUint64(offBuf[:], uint64(indexOff))
+	if _, err := b.out.Write(offBuf[:]); err != nil {
+		return BinStats{}, err
+	}
+	var tail [8]byte
+	binary.LittleEndian.PutUint32(tail[0:4], b.out.crc)
+	copy(tail[4:8], binTrailerMagic)
+	c := b.out
+	c.n += 8
+	if _, err := c.w.Write(tail[:]); err != nil {
+		return BinStats{}, err
+	}
+	if err := c.w.Flush(); err != nil {
+		return BinStats{}, err
+	}
+	return BinStats{Requests: int(b.requests), Sections: len(b.index), Bytes: c.n}, nil
+}
+
+// WriteTraceBin writes a materialized (time-ordered) trace in the binary
+// format. sections <= 0 picks a size-derived default.
+func WriteTraceBin(w io.Writer, t *Trace, sections int) (BinStats, error) {
+	bw, err := newBinWriter(w, t.NumNodes, t.NumObjects, len(t.Accesses), t.Duration, sections)
+	if err != nil {
+		return BinStats{}, err
+	}
+	for _, a := range t.Accesses {
+		if err := bw.add(a); err != nil {
+			return BinStats{}, err
+		}
+	}
+	return bw.finish()
+}
+
+// WriteStreamBin drains a Stream into a binary trace file at path without
+// materializing the trace: accesses are spilled to fixed-width temporary
+// per-section files (same directory, same filesystem), then each section
+// is loaded, time-sorted and encoded on its own. Peak memory is one
+// section, not the trace — the external-sort step that lets a 16M-request
+// workload be persisted in a few tens of MB of RAM.
+func WriteStreamBin(path string, s *Stream, sections int) (BinStats, error) {
+	if s.pos != 0 {
+		return BinStats{}, errors.New("workload: stream already consumed")
+	}
+	if err := binDims(s.nodes, s.objects, s.duration); err != nil {
+		return BinStats{}, err
+	}
+	if sections <= 0 {
+		sections = defaultSections(s.requests)
+	}
+	if sections > binMaxSections {
+		sections = binMaxSections
+	}
+	sectionNanos := (s.duration.Nanoseconds() + int64(sections) - 1) / int64(sections)
+
+	spillDir, err := os.MkdirTemp(filepath.Dir(path), ".trace-spill-*")
+	if err != nil {
+		return BinStats{}, err
+	}
+	defer os.RemoveAll(spillDir)
+
+	spills := make([]*os.File, sections)
+	spillBufs := make([]*bufio.Writer, sections)
+	for i := range spills {
+		f, err := os.Create(filepath.Join(spillDir, fmt.Sprintf("s%04d", i)))
+		if err != nil {
+			return BinStats{}, err
+		}
+		defer f.Close()
+		spills[i] = f
+		spillBufs[i] = bufio.NewWriterSize(f, 1<<15)
+	}
+
+	// Pass 1: shard the stream by section in generation order.
+	chunk := streamChunk
+	if s.requests < chunk {
+		chunk = s.requests
+	}
+	buf := make([]Access, chunk)
+	var rec [spillRecordSize]byte
+	for {
+		n := s.Next(buf)
+		if n == 0 {
+			break
+		}
+		for _, a := range buf[:n] {
+			if a.At < 0 || a.At >= s.duration || a.Node < 0 || a.Node >= s.nodes ||
+				a.Object < 0 || a.Object >= s.objects {
+				return BinStats{}, fmt.Errorf("workload: generated access (%v, %d, %d) out of range", a.At, a.Node, a.Object)
+			}
+			idx := int(a.At.Nanoseconds() / sectionNanos)
+			if idx >= sections {
+				idx = sections - 1
+			}
+			w := uint32(0)
+			if a.Write {
+				w = 1
+			}
+			binary.LittleEndian.PutUint64(rec[0:8], uint64(a.At.Nanoseconds()))
+			binary.LittleEndian.PutUint32(rec[8:12], uint32(a.Node)<<1|w)
+			binary.LittleEndian.PutUint32(rec[12:16], uint32(a.Object))
+			if _, err := spillBufs[idx].Write(rec[:]); err != nil {
+				return BinStats{}, err
+			}
+		}
+	}
+	for _, b := range spillBufs {
+		if err := b.Flush(); err != nil {
+			return BinStats{}, err
+		}
+	}
+
+	// Pass 2: per section, load + sort + encode.
+	out, err := os.Create(path)
+	if err != nil {
+		return BinStats{}, err
+	}
+	bw, err := newBinWriter(out, s.nodes, s.objects, s.requests, s.duration, sections)
+	if err != nil {
+		out.Close()
+		return BinStats{}, err
+	}
+	var section []Access
+	for i := range spills {
+		data, err := os.ReadFile(spills[i].Name())
+		if err != nil {
+			out.Close()
+			return BinStats{}, err
+		}
+		if len(data)%spillRecordSize != 0 {
+			out.Close()
+			return BinStats{}, fmt.Errorf("workload: spill %d corrupt", i)
+		}
+		section = section[:0]
+		for o := 0; o < len(data); o += spillRecordSize {
+			nw := binary.LittleEndian.Uint32(data[o+8 : o+12])
+			section = append(section, Access{
+				At:     time.Duration(binary.LittleEndian.Uint64(data[o : o+8])),
+				Node:   int(nw >> 1),
+				Object: int(binary.LittleEndian.Uint32(data[o+12 : o+16])),
+				Write:  nw&1 == 1,
+			})
+		}
+		sortAccesses(section)
+		for _, a := range section {
+			if err := bw.add(a); err != nil {
+				out.Close()
+				return BinStats{}, err
+			}
+		}
+	}
+	stats, err := bw.finish()
+	if err != nil {
+		out.Close()
+		return BinStats{}, err
+	}
+	return stats, out.Close()
+}
+
+// BinReader reads a binary trace file, normally via mmap (OpenBin).
+type BinReader struct {
+	data  []byte
+	close func() error
+
+	NumNodes     int
+	NumObjects   int
+	NumRequests  int
+	Duration     time.Duration
+	sectionNanos int64
+	sections     []binIndexEntryVal
+	payloadEnd   int64
+}
+
+// OpenBin maps a binary trace file. On platforms without mmap support the
+// file is read into memory instead; either way Close releases it.
+func OpenBin(path string) (*BinReader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	data, closer, err := mmapFile(f, st.Size())
+	if err != nil {
+		return nil, err
+	}
+	r, err := parseBin(data, closer)
+	if err != nil {
+		if closer != nil {
+			closer()
+		}
+		return nil, err
+	}
+	return r, nil
+}
+
+// OpenBinBytes parses an in-memory binary trace (tests, fuzzing).
+func OpenBinBytes(data []byte) (*BinReader, error) {
+	return parseBin(data, nil)
+}
+
+func parseBin(data []byte, closer func() error) (*BinReader, error) {
+	if len(data) < binHeaderSize+binTrailerSize {
+		return nil, errors.New("workload: binary trace truncated")
+	}
+	if string(data[0:4]) != binMagic {
+		return nil, errors.New("workload: bad binary trace magic")
+	}
+	if v := binary.LittleEndian.Uint16(data[4:6]); v != binVersion {
+		return nil, fmt.Errorf("workload: unsupported binary trace version %d", v)
+	}
+	if string(data[len(data)-4:]) != binTrailerMagic {
+		return nil, errors.New("workload: bad binary trace trailer")
+	}
+	wantCRC := binary.LittleEndian.Uint32(data[len(data)-8 : len(data)-4])
+	if crc32.ChecksumIEEE(data[:len(data)-8]) != wantCRC {
+		return nil, errors.New("workload: binary trace checksum mismatch")
+	}
+	nodes := int(binary.LittleEndian.Uint32(data[8:12]))
+	objects := int(binary.LittleEndian.Uint32(data[12:16]))
+	sections := int(binary.LittleEndian.Uint32(data[16:20]))
+	requests := binary.LittleEndian.Uint64(data[24:32])
+	durationNanos := binary.LittleEndian.Uint64(data[32:40])
+	sectionNanos := binary.LittleEndian.Uint64(data[40:48])
+	if nodes <= 0 || nodes >= binMaxID || objects <= 0 || objects >= binMaxID {
+		return nil, errors.New("workload: binary trace dimensions out of range")
+	}
+	if sections <= 0 || sections > 1<<20 {
+		return nil, errors.New("workload: binary trace section count out of range")
+	}
+	if durationNanos == 0 || durationNanos > uint64(math.MaxInt64) {
+		return nil, errors.New("workload: binary trace duration out of range")
+	}
+	if sectionNanos == 0 || sectionNanos > uint64(math.MaxInt64) {
+		return nil, errors.New("workload: binary trace section length out of range")
+	}
+	if requests > uint64(math.MaxInt64) {
+		return nil, errors.New("workload: binary trace request count out of range")
+	}
+	indexOff := int64(binary.LittleEndian.Uint64(data[len(data)-16 : len(data)-8]))
+	wantEnd := int64(len(data) - binTrailerSize)
+	if indexOff < binHeaderSize || indexOff+int64(sections)*binIndexEntry != wantEnd {
+		return nil, errors.New("workload: binary trace index bounds invalid")
+	}
+	r := &BinReader{
+		data:         data,
+		close:        closer,
+		NumNodes:     nodes,
+		NumObjects:   objects,
+		NumRequests:  int(requests),
+		Duration:     time.Duration(durationNanos),
+		sectionNanos: int64(sectionNanos),
+		sections:     make([]binIndexEntryVal, sections),
+		payloadEnd:   indexOff,
+	}
+	var total int64
+	prevOff := int64(binHeaderSize)
+	for i := 0; i < sections; i++ {
+		base := indexOff + int64(i)*binIndexEntry
+		off := int64(binary.LittleEndian.Uint64(data[base : base+8]))
+		count := int64(binary.LittleEndian.Uint64(data[base+8 : base+16]))
+		if off < prevOff || off > indexOff || count < 0 {
+			return nil, errors.New("workload: binary trace index entries invalid")
+		}
+		r.sections[i] = binIndexEntryVal{off: off, count: count}
+		prevOff = off
+		total += count
+		if total > int64(requests) {
+			return nil, errors.New("workload: binary trace index counts exceed request total")
+		}
+	}
+	if total != int64(requests) {
+		return nil, errors.New("workload: binary trace index counts disagree with header")
+	}
+	if r.sections[0].off != binHeaderSize {
+		return nil, errors.New("workload: binary trace payload must start at the header end")
+	}
+	return r, nil
+}
+
+// Close releases the underlying mapping, if any.
+func (r *BinReader) Close() error {
+	if r.close != nil {
+		c := r.close
+		r.close = nil
+		r.data = nil
+		return c()
+	}
+	return nil
+}
+
+// Size is the on-disk footprint in bytes.
+func (r *BinReader) Size() int64 { return int64(len(r.data)) }
+
+// Sections is the section count of the layout.
+func (r *BinReader) Sections() int { return len(r.sections) }
+
+// sectionBounds returns the payload byte range of section s.
+func (r *BinReader) sectionBounds(s int) (int64, int64) {
+	start := r.sections[s].off
+	end := r.payloadEnd
+	if s+1 < len(r.sections) {
+		end = r.sections[s+1].off
+	}
+	return start, end
+}
+
+// decodeSection walks section s, validating as it goes.
+func (r *BinReader) decodeSection(s int, yield func(at int64, node, obj int, write bool)) error {
+	start, end := r.sectionBounds(s)
+	data := r.data[start:end]
+	prev := int64(s) * r.sectionNanos
+	pos := 0
+	for n := int64(0); n < r.sections[s].count; n++ {
+		dt, sz := binary.Uvarint(data[pos:])
+		if sz <= 0 {
+			return fmt.Errorf("workload: section %d: bad time delta", s)
+		}
+		pos += sz
+		nw, sz := binary.Uvarint(data[pos:])
+		if sz <= 0 {
+			return fmt.Errorf("workload: section %d: bad node id", s)
+		}
+		pos += sz
+		obj, sz := binary.Uvarint(data[pos:])
+		if sz <= 0 {
+			return fmt.Errorf("workload: section %d: bad object id", s)
+		}
+		pos += sz
+		if dt > uint64(math.MaxInt64) {
+			return fmt.Errorf("workload: section %d: time delta out of range", s)
+		}
+		at := prev + int64(dt)
+		if at < 0 || at >= r.Duration.Nanoseconds() {
+			return fmt.Errorf("workload: section %d: access time %d outside horizon", s, at)
+		}
+		prev = at
+		node := int(nw >> 1)
+		if node >= r.NumNodes || obj >= uint64(r.NumObjects) {
+			return fmt.Errorf("workload: section %d: access (%d, %d) out of range", s, node, obj)
+		}
+		yield(at, node, int(obj), nw&1 == 1)
+	}
+	if pos != len(data) {
+		return fmt.Errorf("workload: section %d: %d trailing bytes", s, len(data)-pos)
+	}
+	return nil
+}
+
+// Trace materializes the file back into an in-memory Trace (sections are
+// time-partitioned and internally sorted, so concatenation is the sorted
+// trace). Intended for tooling and differential tests; the scalable path
+// is Counts.
+func (r *BinReader) Trace() (*Trace, error) {
+	tr := &Trace{
+		Accesses:   make([]Access, 0, r.NumRequests),
+		NumNodes:   r.NumNodes,
+		NumObjects: r.NumObjects,
+		Duration:   r.Duration,
+	}
+	for s := range r.sections {
+		err := r.decodeSection(s, func(at int64, node, obj int, write bool) {
+			tr.Accesses = append(tr.Accesses, Access{
+				At: time.Duration(at), Node: node, Object: obj, Write: write,
+			})
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return tr, nil
+}
+
+// Counts aggregates the file into evaluation intervals of length delta,
+// decoding sections in parallel across workers (0 = GOMAXPROCS). Each
+// worker owns a contiguous section range and a partial tensor covering
+// only that range's intervals; merging is integer addition, so the result
+// is deterministic and identical to Trace().Bucket(delta).
+func (r *BinReader) Counts(delta time.Duration, workers int) (*Counts, error) {
+	if delta <= 0 {
+		return nil, errors.New("workload: interval must be positive")
+	}
+	ni := intervalCount(r.Duration, delta)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(r.sections) {
+		workers = len(r.sections)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	// Contiguous section ranges, balanced by access count.
+	type span struct{ lo, hi int }
+	spans := make([]span, 0, workers)
+	perWorker := (int64(r.NumRequests) + int64(workers) - 1) / int64(workers)
+	lo, acc := 0, int64(0)
+	for s := range r.sections {
+		acc += r.sections[s].count
+		if acc >= perWorker || s == len(r.sections)-1 {
+			spans = append(spans, span{lo: lo, hi: s + 1})
+			lo, acc = s+1, 0
+		}
+	}
+	if lo < len(r.sections) {
+		spans = append(spans, span{lo: lo, hi: len(r.sections)})
+	}
+
+	deltaN := delta.Nanoseconds()
+	type partial struct {
+		iLo, iHi     int
+		reads, write []int
+	}
+	parts := make([]partial, len(spans))
+	errs := make([]error, len(spans))
+	var wg sync.WaitGroup
+	for w, sp := range spans {
+		wg.Add(1)
+		go func(w int, sp span) {
+			defer wg.Done()
+			startN := int64(sp.lo) * r.sectionNanos
+			endN := r.Duration.Nanoseconds()
+			if sp.hi < len(r.sections) {
+				endN = int64(sp.hi) * r.sectionNanos
+			}
+			iLo := int(startN / deltaN)
+			if iLo >= ni {
+				iLo = ni - 1
+			}
+			iHi := int((endN - 1) / deltaN)
+			if iHi >= ni {
+				iHi = ni - 1
+			}
+			m := iHi - iLo + 1
+			p := partial{
+				iLo: iLo, iHi: iHi,
+				reads: make([]int, r.NumNodes*m*r.NumObjects),
+				write: make([]int, r.NumNodes*m*r.NumObjects),
+			}
+			for s := sp.lo; s < sp.hi; s++ {
+				err := r.decodeSection(s, func(at int64, node, obj int, isWrite bool) {
+					i := int(at / deltaN)
+					if i >= ni {
+						i = ni - 1
+					}
+					idx := (node*m+(i-iLo))*r.NumObjects + obj
+					if isWrite {
+						p.write[idx]++
+					} else {
+						p.reads[idx]++
+					}
+				})
+				if err != nil {
+					errs[w] = err
+					return
+				}
+			}
+			parts[w] = p
+		}(w, sp)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	reads := alloc3(r.NumNodes, ni, r.NumObjects)
+	writes := alloc3(r.NumNodes, ni, r.NumObjects)
+	for _, p := range parts {
+		if p.reads == nil {
+			continue
+		}
+		m := p.iHi - p.iLo + 1
+		for n := 0; n < r.NumNodes; n++ {
+			for i := 0; i < m; i++ {
+				ro := reads[n][p.iLo+i]
+				wo := writes[n][p.iLo+i]
+				base := (n*m + i) * r.NumObjects
+				for k := 0; k < r.NumObjects; k++ {
+					ro[k] += p.reads[base+k]
+					wo[k] += p.write[base+k]
+				}
+			}
+		}
+	}
+	return packCounts(r.NumNodes, ni, r.NumObjects, delta, reads, writes), nil
+}

@@ -1,0 +1,227 @@
+package workload
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func crowdTrace(t testing.TB, requests int) *Trace {
+	t.Helper()
+	tr, err := GenerateFlashCrowd(FlashCrowdOptions{
+		Nodes: 6, Objects: 30, Requests: requests, Duration: 8 * time.Hour,
+		Seed: 21, WriteFraction: 0.15,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// TestWriteTraceBinRoundTrip: encode a materialized trace, parse it back,
+// and require the exact access sequence plus matching parallel counts.
+func TestWriteTraceBinRoundTrip(t *testing.T) {
+	tr := crowdTrace(t, 20000)
+	var buf bytes.Buffer
+	stats, err := WriteTraceBin(&buf, tr, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Requests != len(tr.Accesses) || stats.Sections != 8 || stats.Bytes != int64(buf.Len()) {
+		t.Fatalf("stats %+v disagree with the written file (%d accesses, %d bytes)", stats, len(tr.Accesses), buf.Len())
+	}
+	if bpr := stats.BytesPerRequest(); bpr <= 0 || bpr >= 16 {
+		t.Errorf("bytes/request %.2f outside the expected compact range", bpr)
+	}
+	r, err := OpenBinBytes(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumNodes != tr.NumNodes || r.NumObjects != tr.NumObjects ||
+		r.NumRequests != len(tr.Accesses) || r.Duration != tr.Duration || r.Sections() != 8 {
+		t.Fatalf("reader header mismatch: %+v", r)
+	}
+	got, err := r.Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Accesses) != len(tr.Accesses) {
+		t.Fatalf("decoded %d accesses, want %d", len(got.Accesses), len(tr.Accesses))
+	}
+	for i := range got.Accesses {
+		if got.Accesses[i] != tr.Accesses[i] {
+			t.Fatalf("access %d = %+v, want %+v", i, got.Accesses[i], tr.Accesses[i])
+		}
+	}
+}
+
+// TestWriteStreamBinMatchesTraceBin: the bounded-memory two-pass stream
+// writer must produce exactly the bytes the materialized writer produces.
+func TestWriteStreamBinMatchesTraceBin(t *testing.T) {
+	opts := GroupOptions{Nodes: 5, Objects: 40, Requests: 15000, Duration: 6 * time.Hour, Seed: 4, WriteFraction: 0.1}
+	tr, err := GenerateGroup(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if _, err := WriteTraceBin(&want, tr, 5); err != nil {
+		t.Fatal(err)
+	}
+	st, err := StreamGroup(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "group.trace")
+	stats, err := WriteStreamBin(path, st, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Fatalf("streamed file (%d bytes) differs from materialized encoding (%d bytes)", len(got), want.Len())
+	}
+	if stats.Bytes != int64(len(got)) || stats.Requests != opts.Requests {
+		t.Fatalf("stats %+v disagree with the file", stats)
+	}
+	// Spill temporaries must not survive.
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Name() != filepath.Base(path) {
+			t.Errorf("leftover file %s next to the trace", e.Name())
+		}
+	}
+}
+
+// TestBinCountsParallelDeterministic: Counts must equal Trace().Bucket for
+// every worker count, including workers > sections.
+func TestBinCountsParallelDeterministic(t *testing.T) {
+	tr := crowdTrace(t, 30000)
+	var buf bytes.Buffer
+	if _, err := WriteTraceBin(&buf, tr, 7); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenBinBytes(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta := 45 * time.Minute // deliberately not aligned with section length
+	want, err := tr.Bucket(delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 1, 2, 3, 7, 16} {
+		got, err := r.Counts(delta, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !got.Equal(want) {
+			t.Errorf("workers=%d: parallel counts differ from materialize-then-bucket", workers)
+		}
+	}
+	if _, err := r.Counts(0, 1); err == nil {
+		t.Error("non-positive delta accepted")
+	}
+}
+
+// TestOpenBinRejectsCorrupt flips and truncates a valid file and checks
+// every corruption is refused at parse time.
+func TestOpenBinRejectsCorrupt(t *testing.T) {
+	tr := crowdTrace(t, 5000)
+	var buf bytes.Buffer
+	if _, err := WriteTraceBin(&buf, tr, 4); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	mutate := func(name string, f func(b []byte) []byte) {
+		b := append([]byte(nil), valid...)
+		if _, err := OpenBinBytes(f(b)); err == nil {
+			t.Errorf("%s: corrupt file accepted", name)
+		}
+	}
+	mutate("bad magic", func(b []byte) []byte { b[0] = 'X'; return b })
+	mutate("bad version", func(b []byte) []byte { b[4] = 99; return b })
+	mutate("bad trailer magic", func(b []byte) []byte { b[len(b)-1] = 'X'; return b })
+	mutate("flipped payload byte", func(b []byte) []byte { b[binHeaderSize+3] ^= 0xff; return b })
+	mutate("flipped index byte", func(b []byte) []byte { b[len(b)-binTrailerSize-1] ^= 0xff; return b })
+	mutate("truncated", func(b []byte) []byte { return b[:len(b)/2] })
+	mutate("empty", func(b []byte) []byte { return nil })
+	mutate("zero nodes", func(b []byte) []byte { b[8], b[9], b[10], b[11] = 0, 0, 0, 0; return b })
+}
+
+// TestBinWriterRejectsBadInput covers the writer-side validation.
+func TestBinWriterRejectsBadInput(t *testing.T) {
+	if _, err := WriteTraceBin(&bytes.Buffer{}, &Trace{NumNodes: 0, NumObjects: 1, Duration: time.Hour}, 0); err == nil {
+		t.Error("zero nodes accepted")
+	}
+	bad := &Trace{
+		Accesses: []Access{{At: time.Minute, Node: 0, Object: 0}, {At: 0, Node: 0, Object: 0}},
+		NumNodes: 1, NumObjects: 1, Duration: time.Hour,
+	}
+	if _, err := WriteTraceBin(&bytes.Buffer{}, bad, 1); err == nil {
+		t.Error("out-of-order accesses accepted")
+	}
+	oob := &Trace{
+		Accesses: []Access{{At: 0, Node: 5, Object: 0}},
+		NumNodes: 1, NumObjects: 1, Duration: time.Hour,
+	}
+	if _, err := WriteTraceBin(&bytes.Buffer{}, oob, 1); err == nil {
+		t.Error("out-of-range node accepted")
+	}
+	horizon := &Trace{
+		Accesses: []Access{{At: 2 * time.Hour, Node: 0, Object: 0}},
+		NumNodes: 1, NumObjects: 1, Duration: time.Hour,
+	}
+	if _, err := WriteTraceBin(&bytes.Buffer{}, horizon, 1); err == nil {
+		t.Error("access past the horizon accepted")
+	}
+}
+
+// FuzzTraceBin: any byte slice either fails to parse or yields a reader
+// whose Trace and Counts agree — no panics, no disagreement.
+func FuzzTraceBin(f *testing.F) {
+	small, err := GenerateWeb(WebOptions{Nodes: 3, Objects: 8, Requests: 200, Duration: 2 * time.Hour, Seed: 7, WriteFraction: 0.2})
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, sections := range []int{1, 3} {
+		var buf bytes.Buffer
+		if _, err := WriteTraceBin(&buf, small, sections); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte(binMagic))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := OpenBinBytes(data)
+		if err != nil {
+			return
+		}
+		tr, terr := r.Trace()
+		counts, cerr := r.Counts(30*time.Minute, 2)
+		if (terr == nil) != (cerr == nil) {
+			t.Fatalf("Trace err=%v but Counts err=%v", terr, cerr)
+		}
+		if terr != nil {
+			return
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("accepted file decoded to an invalid trace: %v", err)
+		}
+		want, err := tr.Bucket(30 * time.Minute)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !counts.Equal(want) {
+			t.Fatal("parallel counts disagree with materialize-then-bucket")
+		}
+	})
+}

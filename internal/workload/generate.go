@@ -1,7 +1,6 @@
 package workload
 
 import (
-	"errors"
 	"math"
 	"time"
 
@@ -19,6 +18,11 @@ type WebOptions struct {
 	Seed     uint64
 	ZipfS    float64 // Zipf exponent for object popularity (default 1.0)
 	NodeSkew float64 // Zipf exponent for per-site activity (default 0.6)
+	// WriteFraction flags that fraction of accesses as writes during
+	// generation (default 0: a pure read trace). The flags draw from a
+	// dedicated RNG, so the access sequence itself is independent of the
+	// fraction; unlike AddWrites, no second copy of the trace is made.
+	WriteFraction float64
 }
 
 func (o WebOptions) withDefaults() WebOptions {
@@ -43,19 +47,13 @@ func (o WebOptions) withDefaults() WebOptions {
 	return o
 }
 
-// GenerateWeb produces the WEB workload.
+// GenerateWeb produces the WEB workload: StreamWeb, materialized.
 func GenerateWeb(opts WebOptions) (*Trace, error) {
-	opts = opts.withDefaults()
-	if opts.Nodes <= 0 || opts.Objects <= 0 || opts.Requests <= 0 {
-		return nil, errors.New("workload: nodes, objects and requests must be positive")
+	st, err := StreamWeb(opts)
+	if err != nil {
+		return nil, err
 	}
-	objW := zipfWeights(opts.Objects, opts.ZipfS)
-	nodeW := zipfWeights(opts.Nodes, opts.NodeSkew)
-	return generate(genSpec{
-		nodes: opts.Nodes, objects: opts.Objects, requests: opts.Requests,
-		duration: opts.Duration, seed: opts.Seed,
-		objWeights: objW, nodeWeights: nodeW,
-	})
+	return st.Materialize()
 }
 
 // GroupOptions configures GenerateGroup, the stand-in for the collaborative
@@ -71,6 +69,9 @@ type GroupOptions struct {
 	Seed     uint64
 	MinPop   float64 // relative weight of the coldest object (default 8.5)
 	MaxPop   float64 // relative weight of the hottest object (default 36)
+	// WriteFraction flags that fraction of accesses as writes during
+	// generation; see WebOptions.WriteFraction.
+	WriteFraction float64
 }
 
 func (o GroupOptions) withDefaults() GroupOptions {
@@ -95,61 +96,27 @@ func (o GroupOptions) withDefaults() GroupOptions {
 	return o
 }
 
-// GenerateGroup produces the GROUP workload.
+// GenerateGroup produces the GROUP workload: StreamGroup, materialized.
 func GenerateGroup(opts GroupOptions) (*Trace, error) {
-	opts = opts.withDefaults()
-	if opts.MinPop <= 0 || opts.MaxPop < opts.MinPop {
-		return nil, errors.New("workload: need 0 < MinPop <= MaxPop")
+	st, err := StreamGroup(opts)
+	if err != nil {
+		return nil, err
 	}
-	rng := xrand.New(opts.Seed ^ 0x5eed)
-	objW := make([]float64, opts.Objects)
-	for k := range objW {
-		objW[k] = rng.Range(opts.MinPop, opts.MaxPop)
-	}
-	nodeW := make([]float64, opts.Nodes)
-	for n := range nodeW {
-		nodeW[n] = 1 // all sites highly active
-	}
-	return generate(genSpec{
-		nodes: opts.Nodes, objects: opts.Objects, requests: opts.Requests,
-		duration: opts.Duration, seed: opts.Seed,
-		objWeights: objW, nodeWeights: nodeW,
-	})
+	return st.Materialize()
 }
 
+// genSpec parameterizes the shared weighted-sampling stream (newStream):
+// the WEB and GROUP models are both "draw a time, a node and an object
+// from fixed distributions", differing only in their weights. The write
+// fraction rides along as a generation-time knob so flagged traces never
+// need a post-hoc copy pass.
 type genSpec struct {
 	nodes, objects, requests int
 	duration                 time.Duration
 	seed                     uint64
 	objWeights               []float64
 	nodeWeights              []float64
-}
-
-func generate(s genSpec) (*Trace, error) {
-	if s.nodes <= 0 || s.objects <= 0 || s.requests <= 0 {
-		return nil, errors.New("workload: nodes, objects and requests must be positive")
-	}
-	if s.duration <= 0 {
-		return nil, errors.New("workload: duration must be positive")
-	}
-	rng := xrand.New(s.seed)
-	objCum := cumulative(s.objWeights)
-	nodeCum := cumulative(s.nodeWeights)
-	tr := &Trace{
-		Accesses:   make([]Access, s.requests),
-		NumNodes:   s.nodes,
-		NumObjects: s.objects,
-		Duration:   s.duration,
-	}
-	for i := range tr.Accesses {
-		tr.Accesses[i] = Access{
-			At:     time.Duration(rng.Float64() * float64(s.duration)),
-			Node:   sample(nodeCum, rng),
-			Object: sample(objCum, rng),
-		}
-	}
-	sortAccesses(tr.Accesses)
-	return tr, nil
+	writeFraction            float64
 }
 
 // zipfWeights returns weights proportional to 1/rank^s.
@@ -192,8 +159,11 @@ func sample(cum []float64, rng *xrand.Rand) int {
 }
 
 // AddWrites returns a copy of the trace where a deterministic fraction of
-// accesses (chosen pseudo-randomly by seed) are turned into writes. Used by
-// the update-cost model extension (paper Sec. 3.2, term delta).
+// accesses (chosen pseudo-randomly by seed) are turned into writes, for
+// the update-cost model extension (paper Sec. 3.2, term delta). It is the
+// tool for traces of external provenance (workload.Read); generated
+// workloads flag writes during generation instead (WriteFraction on the
+// generator options), which avoids doubling peak memory on a second copy.
 func AddWrites(t *Trace, fraction float64, seed uint64) *Trace {
 	rng := xrand.New(seed)
 	out := &Trace{

@@ -1,0 +1,18 @@
+//go:build !linux && !darwin
+
+package workload
+
+import (
+	"io"
+	"os"
+)
+
+// mmapFile falls back to reading the whole file on platforms where the
+// syscall mmap path is not wired up.
+func mmapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return nil }, nil
+}

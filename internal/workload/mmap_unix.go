@@ -1,0 +1,21 @@
+//go:build linux || darwin
+
+package workload
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps the file read-only. The returned closer unmaps it. An
+// empty file maps to a nil slice with a no-op closer.
+func mmapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	if size == 0 {
+		return nil, func() error { return nil }, nil
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_PRIVATE)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

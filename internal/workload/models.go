@@ -7,11 +7,7 @@ package workload
 // static placement (demand moves between sites over the horizon).
 
 import (
-	"errors"
-	"math"
 	"time"
-
-	"wideplace/internal/xrand"
 )
 
 // FlashCrowdOptions configures GenerateFlashCrowd.
@@ -38,6 +34,9 @@ type FlashCrowdOptions struct {
 	// across all sites: the event is global, which is what defeats
 	// per-site demand history.
 	HotObjects int
+	// WriteFraction flags that fraction of accesses as writes during
+	// generation; see WebOptions.WriteFraction.
+	WriteFraction float64
 }
 
 func (o FlashCrowdOptions) withDefaults() FlashCrowdOptions {
@@ -79,51 +78,13 @@ func (o FlashCrowdOptions) withDefaults() FlashCrowdOptions {
 // of requests — CrowdShare of the whole trace — hits a handful of hot
 // objects from every site at once. Request density inside the window is
 // therefore far above baseline, which is the defining property of the
-// scenario.
+// scenario. It is StreamFlashCrowd, materialized.
 func GenerateFlashCrowd(opts FlashCrowdOptions) (*Trace, error) {
-	opts = opts.withDefaults()
-	if opts.Nodes <= 0 || opts.Objects <= 0 || opts.Requests <= 0 {
-		return nil, errors.New("workload: nodes, objects and requests must be positive")
+	st, err := StreamFlashCrowd(opts)
+	if err != nil {
+		return nil, err
 	}
-	if opts.Duration <= 0 {
-		return nil, errors.New("workload: duration must be positive")
-	}
-	if opts.CrowdShare < 0 || opts.CrowdShare >= 1 {
-		return nil, errors.New("workload: CrowdShare must be in [0, 1)")
-	}
-	if opts.CrowdStart < 0 || opts.CrowdWidth <= 0 || opts.CrowdStart+opts.CrowdWidth > opts.Duration {
-		return nil, errors.New("workload: crowd window must fit inside the horizon")
-	}
-	if opts.HotObjects < 1 || opts.HotObjects > opts.Objects {
-		return nil, errors.New("workload: HotObjects must be in [1, Objects]")
-	}
-	rng := xrand.New(opts.Seed)
-	objCum := cumulative(zipfWeights(opts.Objects, opts.ZipfS))
-	nodeCum := cumulative(zipfWeights(opts.Nodes, opts.NodeSkew))
-	crowd := int(math.Round(opts.CrowdShare * float64(opts.Requests)))
-	base := opts.Requests - crowd
-	tr := &Trace{
-		Accesses:   make([]Access, 0, opts.Requests),
-		NumNodes:   opts.Nodes,
-		NumObjects: opts.Objects,
-		Duration:   opts.Duration,
-	}
-	for i := 0; i < base; i++ {
-		tr.Accesses = append(tr.Accesses, Access{
-			At:     time.Duration(rng.Float64() * float64(opts.Duration)),
-			Node:   sample(nodeCum, rng),
-			Object: sample(objCum, rng),
-		})
-	}
-	for i := 0; i < crowd; i++ {
-		tr.Accesses = append(tr.Accesses, Access{
-			At:     opts.CrowdStart + time.Duration(rng.Float64()*float64(opts.CrowdWidth)),
-			Node:   rng.Intn(opts.Nodes),
-			Object: rng.Intn(opts.HotObjects),
-		})
-	}
-	sortAccesses(tr.Accesses)
-	return tr, nil
+	return st.Materialize()
 }
 
 // DiurnalOptions configures GenerateDiurnal.
@@ -148,6 +109,9 @@ type DiurnalOptions struct {
 	// step when true, so each zone's day has its own hot set; reactive
 	// heuristics then re-learn the hot set as the planet turns.
 	ObjectDrift bool
+	// WriteFraction flags that fraction of accesses as writes during
+	// generation; see WebOptions.WriteFraction.
+	WriteFraction float64
 }
 
 func (o DiurnalOptions) withDefaults() DiurnalOptions {
@@ -182,67 +146,11 @@ func (o DiurnalOptions) withDefaults() DiurnalOptions {
 // uniform over the horizon, but which sites originate them follows a
 // sinusoidal day-night cycle offset per time zone, so demand circles the
 // globe once per Period. With ObjectDrift the hot object set additionally
-// rotates as the active zone changes.
+// rotates as the active zone changes. It is StreamDiurnal, materialized.
 func GenerateDiurnal(opts DiurnalOptions) (*Trace, error) {
-	opts = opts.withDefaults()
-	if opts.Nodes <= 0 || opts.Objects <= 0 || opts.Requests <= 0 {
-		return nil, errors.New("workload: nodes, objects and requests must be positive")
+	st, err := StreamDiurnal(opts)
+	if err != nil {
+		return nil, err
 	}
-	if opts.Duration <= 0 || opts.Period <= 0 {
-		return nil, errors.New("workload: duration and period must be positive")
-	}
-	if opts.Zones < 1 || opts.Zones > opts.Nodes {
-		return nil, errors.New("workload: Zones must be in [1, Nodes]")
-	}
-	if opts.NightFloor <= 0 || opts.NightFloor > 1 {
-		return nil, errors.New("workload: NightFloor must be in (0, 1]")
-	}
-	rng := xrand.New(opts.Seed)
-	objW := zipfWeights(opts.Objects, opts.ZipfS)
-	objCum := cumulative(objW)
-
-	// Discretize the cycle: node activity is piecewise constant over
-	// steps of Period/steps, which keeps sampling O(log n) per access via
-	// one precomputed cumulative distribution per step.
-	const steps = 24
-	stepLen := opts.Period / steps
-	nodeCums := make([][]float64, steps)
-	for s := 0; s < steps; s++ {
-		w := make([]float64, opts.Nodes)
-		for n := 0; n < opts.Nodes; n++ {
-			zone := n % opts.Zones
-			// Zone z peaks at phase z/Zones of the cycle.
-			phase := float64(s)/steps - float64(zone)/float64(opts.Zones)
-			day := (1 + math.Cos(2*math.Pi*phase)) / 2 // 1 at peak, 0 at trough
-			w[n] = opts.NightFloor + (1-opts.NightFloor)*day
-		}
-		nodeCums[s] = cumulative(w)
-	}
-	// With drift, rank rotation advances once per zone-step of the cycle.
-	driftStep := opts.Period / time.Duration(opts.Zones)
-
-	tr := &Trace{
-		Accesses:   make([]Access, opts.Requests),
-		NumNodes:   opts.Nodes,
-		NumObjects: opts.Objects,
-		Duration:   opts.Duration,
-	}
-	for i := range tr.Accesses {
-		at := time.Duration(rng.Float64() * float64(opts.Duration))
-		step := int((at % opts.Period) / stepLen)
-		if step >= steps {
-			step = steps - 1
-		}
-		obj := sample(objCum, rng)
-		if opts.ObjectDrift {
-			obj = (obj + int(at/driftStep)*17) % opts.Objects
-		}
-		tr.Accesses[i] = Access{
-			At:     at,
-			Node:   sample(nodeCums[step], rng),
-			Object: obj,
-		}
-	}
-	sortAccesses(tr.Accesses)
-	return tr, nil
+	return st.Materialize()
 }

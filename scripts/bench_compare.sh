@@ -34,6 +34,17 @@
 #                                              cmd/controller -compare; FILE
 #                                              overrides the record path)
 #
+#   scripts/bench_compare.sh --trace [SCENARIO]
+#                                              run the full-volume trace
+#                                              pipeline (default scenario
+#                                              paper20-group-full, 16M
+#                                              requests), append a record to
+#                                              BENCH_trace.json and gate the
+#                                              streamed peak-alloc reduction
+#                                              at >= 5x over the materialized
+#                                              path (delegates to cmd/workload
+#                                              bench-trace)
+#
 # Environment:
 #   BENCH_COUNT    repetitions per benchmark (default 3; raise for benchstat
 #                  significance testing)
@@ -50,6 +61,12 @@ fi
 if [ "${1:-}" = "--controller" ]; then
     shift
     exec go run ./cmd/controller -compare -bench "${1:-BENCH_controller.json}"
+fi
+
+if [ "${1:-}" = "--trace" ]; then
+    shift
+    exec go run ./cmd/workload bench-trace \
+        -scenario "${1:-paper20-group-full}" -record BENCH_trace.json -gate 5
 fi
 
 count="${BENCH_COUNT:-3}"
