@@ -12,6 +12,7 @@
 //	stress -scenarios flash-crowd -sizes 20,50    # one family, short ladder
 //	stress -scenarios slow-scenario@100           # skip this scenario's rungs above 100 sites
 //	stress -out results/ -bench ""                # TSVs only, no JSON record
+//	stress -stream on                             # force the streamed compile path at any size
 //	stress -compare                               # diff the last two BENCH_scale.json records
 //
 // A scenario reference may carry an "@maxSites" suffix capping the ladder
@@ -33,6 +34,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -46,6 +48,7 @@ import (
 	"strings"
 	"time"
 
+	"wideplace/internal/atomicio"
 	"wideplace/internal/cli"
 	"wideplace/internal/core"
 	"wideplace/internal/exact"
@@ -75,12 +78,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 		solveCap    = fs.Duration("solve-timeout", 0, "wall-clock cap per LP solve (0 = unlimited)")
 		verbose     = fs.Bool("v", false, "print per-bound progress (incl. solver stats) to stderr")
 		reqFlag     = fs.Int("requests", 0, "override every scenario's request volume (0 = keep each spec's; large volumes compile via the streaming path)")
+		streamFlag  = fs.String("stream", "auto", "workload compile path: auto (stream past the size threshold), on (always stream, no materialized trace) or off")
 		xcheckAbove = fs.Int("xcheck-above", 250, "cross-check rungs with at least this many sites against the Lagrangian bound engine (0 = never)")
 		xcheckExact = fs.Bool("xcheck-exact", true, "on tree rungs, verify LP bound <= exact DP optimum <= certificate for every supported cell")
 		compareFlag = fs.Bool("compare", false, "diff per-size solver counters between the last two records of -bench and exit")
 	)
 	lpFlags := cli.RegisterLPFlags(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	streaming, err := parseStreaming(*streamFlag)
+	if err != nil {
 		return err
 	}
 
@@ -157,7 +165,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 				continue
 			}
 			start := time.Now()
-			res, err := cli.ResolveScenario(lad.ref, "stress", cli.ScenarioOptions{Nodes: n, Requests: *reqFlag}, stderr)
+			res, err := cli.ResolveScenario(lad.ref, "stress", cli.ScenarioOptions{Nodes: n, Requests: *reqFlag, Streaming: streaming}, stderr)
 			if err != nil {
 				return fmt.Errorf("%s at %d nodes: %w", base.Name, n, err)
 			}
@@ -255,22 +263,30 @@ func parseSizes(s string) ([]int, error) {
 	return out, nil
 }
 
-func writeTSV(path string, fig *experiments.Figure, footers []string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
+// parseStreaming maps the -stream flag onto the scenario compile modes.
+func parseStreaming(s string) (scenario.StreamingMode, error) {
+	switch s {
+	case "auto":
+		return scenario.StreamAuto, nil
+	case "on":
+		return scenario.StreamOn, nil
+	case "off":
+		return scenario.StreamOff, nil
 	}
-	if err := fig.WriteTSV(f); err != nil {
-		f.Close()
+	return 0, fmt.Errorf("unknown -stream mode %q (want auto, on or off)", s)
+}
+
+// writeTSV lands a rung's TSV atomically: a crashed or interrupted run
+// never leaves a truncated artifact where a complete one is expected.
+func writeTSV(path string, fig *experiments.Figure, footers []string) error {
+	var buf bytes.Buffer
+	if err := fig.WriteTSV(&buf); err != nil {
 		return err
 	}
 	for _, line := range footers {
-		if _, err := fmt.Fprintln(f, line); err != nil {
-			f.Close()
-			return err
-		}
+		fmt.Fprintln(&buf, line)
 	}
-	return f.Close()
+	return atomicio.WriteFile(path, buf.Bytes(), 0o644)
 }
 
 // scaleSolver mirrors BENCH_sweep.json's solver block: the deterministic
@@ -582,5 +598,7 @@ func appendRecord(path string, rec scaleRecord) error {
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(out, '\n'), 0o644)
+	// Atomic replace: the history file is append-only state shared across
+	// runs, so a crash mid-write must not destroy the prior records.
+	return atomicio.WriteFile(path, append(out, '\n'), 0o644)
 }

@@ -1,0 +1,131 @@
+package dist
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"wideplace/internal/atomicio"
+	"wideplace/internal/experiments"
+)
+
+// Store is the persistent content-addressed column store: one JSON file
+// per solved column under dir/<hh>/<hash>.json, where hh is the first
+// hex byte of the column key (a fixed 256-way fan-out keeping directory
+// listings short at fleet scale). Writes go through atomicio, so a
+// concurrent reader — another coordinator on a shared filesystem, or a
+// restart after a crash — sees either nothing or a complete entry, never
+// a torn one. Entries are never evicted: a column's bounds are a pure
+// function of its key, so the store only ever grows more complete.
+type Store struct {
+	dir string
+}
+
+// castagnoli is the CRC-32C table used to checksum stored point payloads.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// storeEntry is the on-disk envelope. The CRC covers the raw points
+// JSON; Key and Fingerprint re-state the identity so an entry that was
+// moved, truncated-and-refilled, or bit-flipped is detected on read.
+type storeEntry struct {
+	Key         string          `json:"key"`
+	Class       string          `json:"class"`
+	Fingerprint string          `json:"fingerprint"`
+	CRC32C      uint32          `json:"crc32c"`
+	Points      json.RawMessage `json:"points"`
+}
+
+// NewStore opens (creating if needed) a store rooted at dir.
+func NewStore(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, errors.New("dist: store needs a directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("dist: store: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// path maps a column key to its file. Keys are "sha256:<hex>"; only the
+// hex part names files so keys can never traverse outside dir.
+func (s *Store) path(key string) (string, error) {
+	hex, ok := strings.CutPrefix(key, "sha256:")
+	if !ok || len(hex) < 2 || strings.ContainsAny(hex, "/.\\") {
+		return "", fmt.Errorf("dist: malformed column key %q", key)
+	}
+	return filepath.Join(s.dir, hex[:2], hex+".json"), nil
+}
+
+// Put persists one solved column under key. The write is atomic; a
+// concurrent Put of the same key writes the same bytes (the value is a
+// pure function of the key), so last-writer-wins is harmless.
+func (s *Store) Put(key, class, fingerprint string, points []experiments.Point) error {
+	path, err := s.path(key)
+	if err != nil {
+		return err
+	}
+	raw, err := json.Marshal(points)
+	if err != nil {
+		return fmt.Errorf("dist: store put: %w", err)
+	}
+	entry := storeEntry{
+		Key:         key,
+		Class:       class,
+		Fingerprint: fingerprint,
+		CRC32C:      crc32.Checksum(raw, castagnoli),
+		Points:      raw,
+	}
+	blob, err := json.Marshal(&entry)
+	if err != nil {
+		return fmt.Errorf("dist: store put: %w", err)
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("dist: store put: %w", err)
+	}
+	return atomicio.WriteFile(path, blob, 0o644)
+}
+
+// Get loads the column stored under key. A missing entry returns
+// (nil, false, nil). A present but unusable entry — unparsable JSON, a
+// key or CRC mismatch — returns (nil, false, err): the caller treats it
+// as a miss and re-solves, and the corrupt file is removed best-effort so
+// the healthy re-solve can replace it.
+func (s *Store) Get(key string) ([]experiments.Point, bool, error) {
+	path, err := s.path(key)
+	if err != nil {
+		return nil, false, err
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, false, nil
+		}
+		return nil, false, fmt.Errorf("dist: store get: %w", err)
+	}
+	drop := func(err error) ([]experiments.Point, bool, error) {
+		os.Remove(path) //nolint:errcheck // best-effort; re-solve overwrites it anyway
+		return nil, false, err
+	}
+	var entry storeEntry
+	if err := json.Unmarshal(blob, &entry); err != nil {
+		return drop(fmt.Errorf("dist: store entry %s is unparsable: %w", key, err))
+	}
+	if entry.Key != key {
+		return drop(fmt.Errorf("dist: store entry %s claims key %s", key, entry.Key))
+	}
+	if got := crc32.Checksum(entry.Points, castagnoli); got != entry.CRC32C {
+		return drop(fmt.Errorf("dist: store entry %s fails its checksum (crc32c %08x, want %08x)", key, got, entry.CRC32C))
+	}
+	var points []experiments.Point
+	if err := json.Unmarshal(entry.Points, &points); err != nil {
+		return drop(fmt.Errorf("dist: store entry %s holds unparsable points: %w", key, err))
+	}
+	return points, true, nil
+}

@@ -1,0 +1,251 @@
+package dist
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"wideplace/internal/experiments"
+	"wideplace/internal/lp"
+)
+
+func testPoints(class string, n int) []experiments.Point {
+	pts := make([]experiments.Point, n)
+	for i := range pts {
+		pts[i] = experiments.Point{
+			Class: class, QoS: 0.8 + float64(i)/100,
+			Bound: 1000.5 * float64(i+1), Feasible: 2000.25 * float64(i+1),
+			Stats: lp.Stats{Iterations: 10 * (i + 1), PricingScans: 999, PricingRule: "devex", Wall: time.Millisecond},
+		}
+	}
+	return pts
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	s, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := ColumnKey("sha256:abc", "caching")
+	want := testPoints("caching", 3)
+	if _, ok, err := s.Get(key); ok || err != nil {
+		t.Fatalf("empty store: ok=%v err=%v, want miss", ok, err)
+	}
+	if err := s.Put(key, "caching", "sha256:abc", want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s.Get(key)
+	if err != nil || !ok {
+		t.Fatalf("Get: ok=%v err=%v", ok, err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mutated the points:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+func TestStoreRejectsMalformedKey(t *testing.T) {
+	s, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"", "abc", "sha256:", "sha256:../../etc/passwd", "md5:deadbeef"} {
+		if err := s.Put(key, "c", "fp", testPoints("c", 1)); err == nil {
+			t.Errorf("Put(%q) accepted a malformed key", key)
+		}
+		if _, _, err := s.Get(key); err == nil {
+			t.Errorf("Get(%q) accepted a malformed key", key)
+		}
+	}
+}
+
+// TestStoreCorruptionIsAMiss covers the repair path: a flipped payload
+// byte, a wrong embedded key and unparsable JSON must all read as misses
+// (with a diagnostic error) and leave the slot writable again.
+func TestStoreCorruptionIsAMiss(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := ColumnKey("sha256:fp", "general")
+	pts := testPoints("general", 2)
+	corruptions := []struct {
+		name string
+		mod  func(path string, blob []byte) []byte
+	}{
+		{"digit-flip in points", func(_ string, blob []byte) []byte {
+			var e storeEntry
+			if err := json.Unmarshal(blob, &e); err != nil {
+				t.Fatal(err)
+			}
+			// Corrupt a numeric value without breaking JSON syntax, so
+			// only the checksum can catch it.
+			raw := []byte(e.Points)
+			for i, b := range raw {
+				if b >= '0' && b <= '8' {
+					raw[i]++
+					break
+				}
+			}
+			e.Points = raw
+			out, err := json.Marshal(&e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return out
+		}},
+		{"wrong key", func(_ string, blob []byte) []byte {
+			var e storeEntry
+			if err := json.Unmarshal(blob, &e); err != nil {
+				t.Fatal(err)
+			}
+			e.Key = ColumnKey("sha256:other", "general")
+			out, err := json.Marshal(&e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return out
+		}},
+		{"truncated", func(_ string, blob []byte) []byte { return blob[:len(blob)/2] }},
+	}
+	for _, c := range corruptions {
+		t.Run(c.name, func(t *testing.T) {
+			if err := s.Put(key, "general", "sha256:fp", pts); err != nil {
+				t.Fatal(err)
+			}
+			path, err := s.path(key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			blob, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, c.mod(path, blob), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			got, ok, err := s.Get(key)
+			if ok || got != nil {
+				t.Fatalf("corrupt entry served: %+v", got)
+			}
+			if err == nil {
+				t.Fatal("corrupt entry read as a clean miss; want a diagnostic error")
+			}
+			if _, statErr := os.Stat(path); !os.IsNotExist(statErr) {
+				t.Errorf("corrupt entry not removed: %v", statErr)
+			}
+			// The slot heals: a re-solve's Put followed by Get round-trips.
+			if err := s.Put(key, "general", "sha256:fp", pts); err != nil {
+				t.Fatal(err)
+			}
+			if got, ok, err := s.Get(key); !ok || err != nil || !reflect.DeepEqual(got, pts) {
+				t.Fatalf("healed slot: ok=%v err=%v", ok, err)
+			}
+		})
+	}
+}
+
+// TestStoreConcurrent exercises concurrent Put/Get of overlapping keys
+// under -race: every successful Get must return the complete column for
+// its key, never a torn or mixed one.
+func TestStoreConcurrent(t *testing.T) {
+	s, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const keys = 4
+	key := func(i int) string { return ColumnKey("sha256:fp", fmt.Sprintf("class-%d", i)) }
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for n := 0; n < 25; n++ {
+				i := (g + n) % keys
+				class := fmt.Sprintf("class-%d", i)
+				if g%2 == 0 {
+					if err := s.Put(key(i), class, "sha256:fp", testPoints(class, i+1)); err != nil {
+						t.Errorf("Put: %v", err)
+						return
+					}
+				} else {
+					pts, ok, err := s.Get(key(i))
+					if err != nil {
+						t.Errorf("Get: %v", err)
+						return
+					}
+					if ok && !reflect.DeepEqual(pts, testPoints(class, i+1)) {
+						t.Errorf("key %d served a torn column: %+v", i, pts)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestStoreDedupAcrossLifetimes proves eviction-free dedup across two
+// sequential coordinator lifetimes sharing one directory: the second
+// lifetime answers every column from disk and dispatches nothing.
+func TestStoreDedupAcrossLifetimes(t *testing.T) {
+	dir := t.TempDir()
+	solves := 0
+	solveOnce := func(s *Store, fingerprint, class string) []experiments.Point {
+		key := ColumnKey(fingerprint, class)
+		if pts, ok, err := s.Get(key); err != nil {
+			t.Fatal(err)
+		} else if ok {
+			return pts
+		}
+		solves++
+		pts := testPoints(class, 2)
+		if err := s.Put(key, class, fingerprint, pts); err != nil {
+			t.Fatal(err)
+		}
+		return pts
+	}
+	classes := []string{"general", "caching", "coop-caching"}
+
+	first, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var firstRun [][]experiments.Point
+	for _, c := range classes {
+		firstRun = append(firstRun, solveOnce(first, "sha256:fp", c))
+	}
+	if solves != len(classes) {
+		t.Fatalf("first lifetime solved %d columns, want %d", solves, len(classes))
+	}
+
+	second, err := NewStore(dir) // a fresh Store over the same directory
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range classes {
+		pts := solveOnce(second, "sha256:fp", c)
+		if !reflect.DeepEqual(pts, firstRun[i]) {
+			t.Fatalf("lifetime 2 served different points for %s", c)
+		}
+	}
+	if solves != len(classes) {
+		t.Fatalf("second lifetime re-solved: %d total solves, want %d", solves, len(classes))
+	}
+	// Nothing was evicted: every entry file still exists.
+	files := 0
+	filepath.Walk(dir, func(path string, info os.FileInfo, err error) error { //nolint:errcheck
+		if err == nil && !info.IsDir() {
+			files++
+		}
+		return nil
+	})
+	if files != len(classes) {
+		t.Fatalf("store holds %d files, want %d", files, len(classes))
+	}
+}

@@ -78,10 +78,12 @@ func Sweep(sys *System, classes []*core.Class, title string, opts Options, progr
 // one worker, each LP seeded with the previous solution's basis, and
 // distinct columns fan out across opts.Parallel workers. With
 // opts.ColdStart every cell is an independent crash-basis solve and the
-// grid fans out per cell. Results are slotted by grid index either way,
-// so the figure is deterministic across worker counts and identical
-// (bounds and TSV body) between the two modes. Every per-QoS instance is
-// built exactly once and shared across classes via the cache.
+// grid fans out per cell, and with opts.ColumnSolver each column is
+// delegated whole to the hook (the distributed path). Results are
+// slotted by grid index in every mode, so the figure is deterministic
+// across worker counts and identical (bounds and TSV body) between the
+// modes. Every per-QoS instance is built exactly once and shared across
+// classes via the cache.
 func boundFigure(sys *System, cache *instanceCache, classes []*core.Class, title string, opts Options, progress Progress) (*Figure, error) {
 	fig := &Figure{Title: title, Spec: sys.Spec}
 	qos := sys.Spec.QoSPoints
@@ -93,7 +95,27 @@ func boundFigure(sys *System, cache *instanceCache, classes []*core.Class, title
 	progress = syncProgress(progress)
 	tick := opts.cellTicker(nC * nQ)
 	var err error
-	if opts.ColdStart {
+	switch {
+	case opts.ColumnSolver != nil:
+		err = runCells(opts.context(), nC, opts.workers(nC), func(ctx context.Context, c int) error {
+			pts, cerr := opts.ColumnSolver(ctx, classes[c].Name, qos)
+			if cerr != nil {
+				return fmt.Errorf("%s: %w", classes[c].Name, cerr)
+			}
+			if len(pts) != nQ {
+				return fmt.Errorf("%s: column solver returned %d points, want %d", classes[c].Name, len(pts), nQ)
+			}
+			for qi, p := range pts {
+				if p.Class != classes[c].Name || p.QoS != qos[qi] {
+					return fmt.Errorf("%s: column solver point %d is (%s, %g), want (%s, %g)",
+						classes[c].Name, qi, p.Class, p.QoS, classes[c].Name, qos[qi])
+				}
+				points[c][qi] = p
+				tick()
+			}
+			return nil
+		})
+	case opts.ColdStart:
 		err = runCells(opts.context(), nC*nQ, opts.workers(nC*nQ), func(ctx context.Context, idx int) error {
 			c, qi := idx/nQ, idx%nQ
 			class, q := classes[c], qos[qi]
@@ -111,7 +133,7 @@ func boundFigure(sys *System, cache *instanceCache, classes []*core.Class, title
 			tick()
 			return nil
 		})
-	} else {
+	default:
 		err = runCells(opts.context(), nC, opts.workers(nC), func(ctx context.Context, c int) error {
 			return solveColumn(ctx, cache, classes[c], qos, opts, progress, tick,
 				func(qi int, p Point) { points[c][qi] = p })

@@ -47,6 +47,16 @@ type Options struct {
 	// differs. Irrelevant under ColdStart, whose per-cell grid never
 	// reuses anything.
 	NoRebind bool
+	// ColumnSolver, when non-nil, replaces the local solve of each class
+	// column: the sweep calls it once per class with the full ascending
+	// QoS grid and slots the returned points by grid index, exactly as the
+	// local warm chain would. The hook must return one Point per QoS value
+	// in input order (points[qi].QoS == qos[qi]). Figure assembly — class
+	// order, titles, slotting, the solver-stats footer — is unchanged, so
+	// a hook that solves columns elsewhere with the same solver settings
+	// yields byte-identical TSVs. Takes precedence over ColdStart, whose
+	// per-cell grid has no column to delegate.
+	ColumnSolver func(ctx context.Context, class string, qos []float64) ([]Point, error)
 	// Ctx cancels the whole sweep (nil = context.Background()).
 	Ctx context.Context
 	// OnCell, when non-nil, receives (done, total) after every completed

@@ -6,6 +6,8 @@ import (
 	"errors"
 	"sync"
 	"testing"
+
+	"wideplace/internal/core"
 )
 
 // TestParallelSweepGolden is the engine's central guarantee: fanning the
@@ -35,6 +37,84 @@ func TestParallelSweepGolden(t *testing.T) {
 				t.Errorf("parallel sweep TSV differs from serial:\n--- serial ---\n%s--- parallel ---\n%s", serial, parallel)
 			}
 		})
+	}
+}
+
+// TestColumnSolverByteIdentical is the distributed path's core guarantee:
+// delegating each class column to a ColumnSolver hook that re-solves it on
+// a fresh System (as a remote worker does) reassembles a figure whose TSV
+// is byte-identical to the purely local sweep.
+func TestColumnSolverByteIdentical(t *testing.T) {
+	for _, kind := range []WorkloadKind{WEB, GROUP} {
+		t.Run(string(kind), func(t *testing.T) {
+			sys, err := Build(tinySpec(kind))
+			if err != nil {
+				t.Fatal(err)
+			}
+			render := func(opts Options) string {
+				fig, err := Figure1(sys, opts, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var buf bytes.Buffer
+				if err := fig.WriteTSV(&buf); err != nil {
+					t.Fatal(err)
+				}
+				return buf.String()
+			}
+			local := render(Options{Parallel: 2})
+			remote := render(Options{
+				Parallel: 2,
+				ColumnSolver: func(ctx context.Context, class string, qos []float64) ([]Point, error) {
+					// Play a worker: rebuild the system from scratch and run
+					// a single-class sweep over the requested column.
+					wsys, err := Build(tinySpec(kind))
+					if err != nil {
+						return nil, err
+					}
+					c, err := core.ClassByName(wsys.Topo, wsys.Spec.Tlat, class)
+					if err != nil {
+						return nil, err
+					}
+					fig, err := Sweep(wsys, []*core.Class{c}, "", Options{Ctx: ctx}, nil)
+					if err != nil {
+						return nil, err
+					}
+					return fig.Series[0].Points, nil
+				},
+			})
+			if local != remote {
+				t.Errorf("column-solver TSV differs from local:\n--- local ---\n%s--- remote ---\n%s", local, remote)
+			}
+		})
+	}
+}
+
+// TestColumnSolverValidation rejects hooks that return the wrong shape.
+func TestColumnSolverValidation(t *testing.T) {
+	sys, err := Build(tinySpec(WEB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Figure1(sys, Options{
+		ColumnSolver: func(ctx context.Context, class string, qos []float64) ([]Point, error) {
+			return nil, nil // wrong length
+		},
+	}, nil)
+	if err == nil {
+		t.Fatal("short column accepted; want error")
+	}
+	_, err = Figure1(sys, Options{
+		ColumnSolver: func(ctx context.Context, class string, qos []float64) ([]Point, error) {
+			pts := make([]Point, len(qos))
+			for i, q := range qos {
+				pts[i] = Point{Class: "wrong-class", QoS: q}
+			}
+			return pts, nil
+		},
+	}, nil)
+	if err == nil {
+		t.Fatal("mislabeled column accepted; want error")
 	}
 }
 

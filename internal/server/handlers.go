@@ -17,6 +17,7 @@ const maxRequestBytes = 64 << 20
 //	GET    /jobs             list retained jobs
 //	GET    /jobs/{id}        job status
 //	GET    /jobs/{id}/result finished bounds (?format=tsv for the figure TSV)
+//	GET    /jobs/{id}/stream job progress as NDJSON (per-column events)
 //	DELETE /jobs/{id}        cancel a queued or running job
 //	POST   /controller/stream replay a drift scenario through the online
 //	                         controller, one JSON line per interval
@@ -30,6 +31,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs", s.handleList)
 	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /jobs/{id}/stream", s.handleJobStream)
 	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
 	mux.HandleFunc("POST /controller/stream", s.handleControllerStream)
 	return mux
@@ -62,6 +64,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	solves, total := s.lpStats.Snapshot()
 	s.metrics.write(w, s.gauges(), solves, total) //nolint:errcheck
+	// A dispatcher that exposes its own counters (the dist coordinator)
+	// appends them to the same exposition.
+	if mw, ok := s.cfg.Dispatcher.(MetricsWriter); ok {
+		mw.WriteMetrics(w)
+	}
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {

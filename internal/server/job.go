@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"wideplace/internal/core"
+	"wideplace/internal/dist"
 	"wideplace/internal/experiments"
 	"wideplace/internal/scenario"
 	"wideplace/internal/topology"
@@ -329,6 +330,32 @@ func (p *jobPlan) buildSystem() (*experiments.System, error) {
 	return experiments.Build(p.spec)
 }
 
+// shard states one class column of this plan as a wire shard for the
+// distributed path, carrying the same system statement the plan itself
+// holds — the worker rebuilds the identical system deterministically.
+// timeout is the effective per-solve cap after server defaults.
+func (p *jobPlan) shard(class, fingerprint string, timeout time.Duration) dist.ShardJob {
+	sh := dist.ShardJob{
+		Class:              class,
+		Fingerprint:        fingerprint,
+		SolveTimeoutMillis: timeout.Milliseconds(),
+	}
+	switch {
+	case p.custom:
+		sh.Topology = p.topo
+		sh.Trace = p.trace
+		sh.DeltaMillis = p.delta.Milliseconds()
+		sh.Tlat = p.tlat
+		sh.QoS = p.qos
+	case p.scenario != nil:
+		sh.Scenario = p.scenario
+	default:
+		spec := p.spec
+		sh.Spec = &spec
+	}
+	return sh
+}
+
 // run executes the sweep. An empty class list runs the Figure 1 set, so
 // spec-form results are byte-identical to the cmd/bounds TSV.
 func (p *jobPlan) run(sys *experiments.System, opts experiments.Options) (*experiments.Figure, error) {
@@ -364,6 +391,70 @@ type Job struct {
 	cellsTotal int
 	errMsg     string
 	fig        *experiments.Figure
+	subs       []chan JobEvent
+}
+
+// JobEvent is one NDJSON line of GET /jobs/{id}/stream: sweep progress,
+// a completed column (distributed mode), or nothing further — terminal
+// state travels in the stream's trailer, not as an event.
+type JobEvent struct {
+	Type  string `json:"type"` // "progress" or "column"
+	Done  int    `json:"done,omitempty"`
+	Total int    `json:"total,omitempty"`
+	// Column events (dispatcher mode): the class whose column finished,
+	// its cell count, and whether it was served from the result store.
+	Class     string `json:"class,omitempty"`
+	Cells     int    `json:"cells,omitempty"`
+	FromStore bool   `json:"fromStore,omitempty"`
+}
+
+// subscribe registers a live event channel; the returned cancel detaches
+// it. The channel is closed when the job reaches a terminal state (or
+// already is in one), which is the subscriber's signal to read the
+// trailer from View.
+func (j *Job) subscribe() (<-chan JobEvent, func()) {
+	ch := make(chan JobEvent, 64)
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.terminal() {
+		close(ch)
+		return ch, func() {}
+	}
+	j.subs = append(j.subs, ch)
+	return ch, func() {
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		for i, c := range j.subs {
+			if c == ch {
+				j.subs = append(j.subs[:i], j.subs[i+1:]...)
+				return
+			}
+		}
+	}
+}
+
+// publish fans an event out to every subscriber without blocking: a
+// subscriber that cannot keep up loses intermediate events (the trailer
+// carries the authoritative final state, so nothing correctness-bearing
+// is lost).
+func (j *Job) publish(ev JobEvent) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for _, ch := range j.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+}
+
+// closeSubsLocked ends every subscription; callers hold j.mu and have
+// just moved the job to a terminal state.
+func (j *Job) closeSubsLocked() {
+	for _, ch := range j.subs {
+		close(ch)
+	}
+	j.subs = nil
 }
 
 // JobView is the JSON representation of a job's status.
@@ -431,10 +522,18 @@ func (j *Job) setRunning(now time.Time) bool {
 	return true
 }
 
-// setProgress records sweep progress (serialized by the sweep engine).
+// setProgress records sweep progress (serialized by the sweep engine)
+// and fans it out to stream subscribers.
 func (j *Job) setProgress(done, total int) {
 	j.mu.Lock()
 	j.cellsDone, j.cellsTotal = done, total
+	ev := JobEvent{Type: "progress", Done: done, Total: total}
+	for _, ch := range j.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
 	j.mu.Unlock()
 }
 
@@ -455,6 +554,7 @@ func (j *Job) finish(fig *experiments.Figure, err error, now time.Time) JobState
 		j.state = StateFailed
 		j.errMsg = err.Error()
 	}
+	j.closeSubsLocked()
 	return j.state
 }
 
@@ -471,6 +571,7 @@ func (j *Job) requestCancel(now time.Time) (JobState, bool) {
 		j.errMsg = "canceled"
 		j.finished = now
 		j.cancel()
+		j.closeSubsLocked()
 		return j.state, true
 	case StateRunning:
 		j.cancel()

@@ -12,12 +12,33 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"sync"
 	"time"
 
+	"wideplace/internal/dist"
 	"wideplace/internal/experiments"
 	"wideplace/internal/lp"
+	"wideplace/internal/scenario"
 )
+
+// Dispatcher solves one column shard outside this process — the
+// coordinator role of the distributed subsystem (internal/dist). When
+// configured, job sweeps delegate each class column to it instead of
+// solving locally; the bool reports a column served from the persistent
+// result store, which keeps the server's fresh-solver-effort metrics
+// honest across restarts. A nil Dispatcher is standalone mode, today's
+// single-process behavior, byte-identical.
+type Dispatcher interface {
+	SolveColumn(ctx context.Context, shard dist.ShardJob) (points []experiments.Point, fromStore bool, err error)
+}
+
+// MetricsWriter is implemented by dispatchers that carry their own
+// counters (the dist coordinator); /metrics appends their exposition
+// after the server's own.
+type MetricsWriter interface {
+	WriteMetrics(w io.Writer)
+}
 
 // Config sizes the service.
 type Config struct {
@@ -56,6 +77,9 @@ type Config struct {
 	// MaxJobs bounds retained finished jobs (default 1024); the oldest
 	// finished jobs (and their cached results) are evicted beyond it.
 	MaxJobs int
+	// Dispatcher, when non-nil, solves every job's class columns remotely
+	// (coordinator mode); see the Dispatcher interface.
+	Dispatcher Dispatcher
 }
 
 func (c Config) withDefaults() Config {
@@ -235,7 +259,17 @@ func (s *Server) runJob(j *Job) {
 	if !j.setRunning(time.Now()) {
 		return // canceled while queued; Cancel already accounted for it
 	}
-	var fig *experiments.Figure
+	var (
+		fig *experiments.Figure
+		// Dispatcher mode tracks the effort of freshly solved columns
+		// only: store-served columns keep their original Stats for the
+		// TSV footer (byte-identity), but a restarted coordinator that
+		// answers a whole job from the store must add nothing to this
+		// process's lp_* counters.
+		freshMu    sync.Mutex
+		freshStats lp.Stats
+		freshCols  int
+	)
 	sys, err := j.plan.buildSystem()
 	if err == nil {
 		opts := experiments.Options{
@@ -252,14 +286,48 @@ func (s *Server) runJob(j *Job) {
 		opts.Bound.LP.Presolve = s.cfg.Presolve
 		opts.Bound.LP.Pricing = s.cfg.Pricing
 		opts.Bound.LP.Factor = s.cfg.Factor
-		fig, err = j.plan.run(sys, opts)
+		if s.cfg.Dispatcher != nil {
+			var fp string
+			fp, err = scenario.Fingerprint(sys)
+			if err == nil {
+				timeout := opts.SolveTimeout
+				opts.ColdStart = false // the shard is the warm-chain column
+				opts.ColumnSolver = func(ctx context.Context, class string, qos []float64) ([]experiments.Point, error) {
+					pts, fromStore, cerr := s.cfg.Dispatcher.SolveColumn(ctx, j.plan.shard(class, fp, timeout))
+					if cerr != nil {
+						return nil, cerr
+					}
+					if !fromStore {
+						var agg lp.Stats
+						for _, p := range pts {
+							agg.Add(p.Stats)
+						}
+						freshMu.Lock()
+						freshStats.Add(agg)
+						freshCols++
+						freshMu.Unlock()
+					}
+					j.publish(JobEvent{Type: "column", Class: class, Cells: len(pts), FromStore: fromStore})
+					return pts, nil
+				}
+			}
+		}
+		if err == nil {
+			fig, err = j.plan.run(sys, opts)
+		}
 	}
 	state := j.finish(fig, err, time.Now())
 	switch state {
 	case StateDone:
 		s.metrics.jobsDone.Add(1)
-		_, agg := fig.SolverStats()
-		s.lpStats.Record(agg)
+		if s.cfg.Dispatcher != nil {
+			if freshCols > 0 {
+				s.lpStats.Record(freshStats)
+			}
+		} else {
+			_, agg := fig.SolverStats()
+			s.lpStats.Record(agg)
+		}
 	case StateFailed:
 		s.metrics.jobsFailed.Add(1)
 	case StateCanceled:

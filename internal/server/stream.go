@@ -200,3 +200,58 @@ func (s *Server) handleControllerStream(w http.ResponseWriter, r *http.Request) 
 	trailer.Done = true
 	emit(trailer)
 }
+
+// jobStreamLine wraps a job view for the header and trailer lines of a
+// job stream, distinguishable from events by its type tag.
+type jobStreamLine struct {
+	Type string  `json:"type"` // "job"
+	Job  JobView `json:"job"`
+}
+
+// handleJobStream streams a job's progress as NDJSON: a header line with
+// the job's current view, one line per progress/column event as it
+// happens, and a trailer with the terminal view once the job finishes. A
+// job already finished streams header + trailer immediately, so clients
+// need no state machine around the race between subscribing and
+// finishing. Closing the connection just detaches the subscriber; the
+// job keeps running (cancellation stays DELETE's).
+func (s *Server) handleJobStream(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	events, unsubscribe := j.subscribe()
+	defer unsubscribe()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	emit := func(v interface{}) bool {
+		if err := enc.Encode(v); err != nil {
+			return false
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+	if !emit(jobStreamLine{Type: "job", Job: j.View()}) {
+		return
+	}
+	for {
+		select {
+		case ev, open := <-events:
+			if !open {
+				emit(jobStreamLine{Type: "job", Job: j.View()})
+				return
+			}
+			if !emit(ev) {
+				return
+			}
+		case <-r.Context().Done():
+			return // client went away; the job keeps running
+		}
+	}
+}
